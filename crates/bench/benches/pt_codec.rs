@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the PT packet codec: the per-branch cost
+//! that makes always-on tracing production-viable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use er_minilang::trace::TraceSink;
+use er_pt::sink::{PtConfig, PtSink};
+
+fn bench_branch_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pt/branches");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("encode_100k_branches", |b| {
+        b.iter(|| {
+            let mut sink = PtSink::new(PtConfig::default());
+            for i in 0..100_000u32 {
+                sink.cond_branch(i % 3 == 0);
+            }
+            sink.finish()
+        });
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut sink = PtSink::new(PtConfig::default());
+    for i in 0..100_000u32 {
+        sink.cond_branch(i % 3 == 0);
+        if i % 1000 == 0 {
+            sink.ptwrite(u64::from(i));
+        }
+    }
+    let trace = sink.finish();
+    let mut group = c.benchmark_group("pt/decode");
+    group.throughput(Throughput::Bytes(trace.bytes.len() as u64));
+    group.bench_function("decode_100k_branch_trace", |b| {
+        b.iter(|| trace.decode().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_tracing, bench_decode);
+criterion_main!(benches);

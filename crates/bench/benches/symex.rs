@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for shepherded symbolic execution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use er_minilang::compile;
+use er_minilang::env::Env;
+use er_minilang::interp::{Machine, RunOutcome};
+use er_pt::sink::{PtConfig, PtSink};
+use er_symex::{SymConfig, SymMachine};
+
+fn record(
+    src: &str,
+    input: u32,
+) -> (
+    er_minilang::ir::Program,
+    Vec<er_pt::TraceEvent>,
+    er_minilang::error::Failure,
+) {
+    let program = compile(src).unwrap();
+    let mut env = Env::new();
+    env.push_input(0, &input.to_le_bytes());
+    let report = Machine::with_sink(&program, env, PtSink::new(PtConfig::default())).run();
+    let RunOutcome::Failure(f) = report.outcome else {
+        panic!()
+    };
+    let events = report.sink.finish().decode().unwrap().events;
+    (program, events, f)
+}
+
+/// Mostly-concrete shepherding: the fast path that dominates real traces.
+fn bench_concrete_path(c: &mut Criterion) {
+    let src = r#"
+        fn main() {
+            let n: u32 = input_u32(0);
+            let h: u32 = 2166136261;
+            for i: u32 = 0; i < 20000; i = i + 1 {
+                h = (h ^ i) * 16777619;
+            }
+            if h == n { print(1); }
+            abort("end");
+        }
+    "#;
+    let (program, events, failure) = record(src, 5);
+    let mut group = c.benchmark_group("symex/concrete_shepherd");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("20k_iteration_loop", |b| {
+        b.iter(|| {
+            let r = SymMachine::new(&program, SymConfig::default()).run(&events, Some(&failure));
+            assert!(matches!(r.status, er_symex::ShepherdStatus::Completed));
+        });
+    });
+    group.finish();
+}
+
+/// Symbolic dataflow shepherding: input-tainted arithmetic each iteration.
+fn bench_symbolic_path(c: &mut Criterion) {
+    let src = r#"
+        fn main() {
+            let n: u32 = input_u32(0);
+            let h: u32 = n;
+            for i: u32 = 0; i < 2000; i = i + 1 {
+                h = (h ^ i) * 31;
+            }
+            if h == 0 { print(1); }
+            abort("end");
+        }
+    "#;
+    let (program, events, failure) = record(src, 77);
+    c.bench_function("symex/symbolic_dataflow_2k", |b| {
+        b.iter(|| {
+            let r = SymMachine::new(&program, SymConfig::default()).run(&events, Some(&failure));
+            assert!(matches!(r.status, er_symex::ShepherdStatus::Completed));
+        });
+    });
+}
+
+criterion_group!(benches, bench_concrete_path, bench_symbolic_path);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Regenerates the **§5.4 invariant-based failure localization case study**.
+//!
+//! MIMIC mines likely invariants from four passing runs of the coreutils
+//! `od` and `pr`, then localizes a failure by reporting violated
+//! invariants. The paper's claim: feeding MIMIC the execution ER
+//! reconstructs yields the *same* root-cause candidates as feeding it the
+//! real failing input.
+
+use er_bench::harness::{print_table, write_json};
+use er_core::deploy::Deployment;
+use er_core::reconstruct::{Outcome, Reconstructor};
+use er_invariants::{observe, observe_with_sched, InvariantSet, MineOptions, Violation};
+use er_minilang::env::Env;
+use er_minilang::interp::RunOutcome;
+use er_minilang::ir::Program;
+use er_workloads::coreutils;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CaseResult {
+    tool: String,
+    invariants_mined: usize,
+    direct_violations: Vec<String>,
+    er_violations: Vec<String>,
+    identical: bool,
+    er_occurrences: u32,
+}
+
+/// Renders a violation as its root-cause identity (function, point,
+/// invariant) — the witness values legitimately differ between the real
+/// failing input and ER's reconstructed one.
+fn violations_to_strings(vs: &[Violation]) -> Vec<String> {
+    let mut out: Vec<String> = vs
+        .iter()
+        .map(|v| format!("{} @ {:?}: {}", v.func_name, v.point, v.invariant))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn clone_env(env: &Env) -> Env {
+    let mut out = Env::new();
+    for s in env.sources() {
+        out.push_input(s, env.stream_data(s).unwrap_or(&[]));
+    }
+    out
+}
+
+fn run_case(tool: &str, program: Program, passing: Vec<Env>, failing: Env) -> CaseResult {
+    // Mine likely invariants from the passing runs (the paper uses 4).
+    let passing_obs: Vec<_> = passing
+        .into_iter()
+        .map(|env| {
+            let (outcome, obs) = observe(&program, env);
+            assert!(matches!(outcome, RunOutcome::Completed));
+            obs
+        })
+        .collect();
+    // Range invariants over 4 samples are low-confidence (Daikon would
+    // suppress them); disable them for the root-cause comparison.
+    let invariants = InvariantSet::mine_with_options(
+        &program,
+        &passing_obs,
+        MineOptions {
+            include_ranges: false,
+        },
+    );
+
+    // Direct localization from the real failing input.
+    let (outcome, failing_obs) = observe(&program, clone_env(&failing));
+    assert!(
+        matches!(outcome, RunOutcome::Failure(_)),
+        "{tool} must fail"
+    );
+    let direct = violations_to_strings(&invariants.violations(&failing_obs));
+
+    // ER reconstruction: the deployment replays the failing request.
+    let deployment = Deployment::new(program.clone(), move |_| clone_env(&failing));
+    let report = Reconstructor::default().reconstruct(&deployment);
+    let Outcome::Reproduced(test_case) = &report.outcome else {
+        panic!(
+            "{tool}: ER must reproduce the failure: {:?}",
+            report.outcome
+        );
+    };
+    let (outcome, er_obs) = observe_with_sched(&program, test_case.env(), test_case.sched);
+    assert!(
+        matches!(outcome, RunOutcome::Failure(_)),
+        "{tool}: reconstructed input must fail"
+    );
+    let er = violations_to_strings(&invariants.violations(&er_obs));
+
+    CaseResult {
+        tool: tool.to_string(),
+        invariants_mined: invariants.len(),
+        identical: direct == er,
+        direct_violations: direct,
+        er_violations: er,
+        er_occurrences: report.occurrences,
+    }
+}
+
+fn main() {
+    println!("# §5.4 case study: MIMIC-style invariant localization via ER");
+    let od = run_case(
+        "od",
+        coreutils::od_program(),
+        coreutils::od_passing_envs(),
+        coreutils::od_failing_env(),
+    );
+    let pr = run_case(
+        "pr",
+        coreutils::pr_program(),
+        coreutils::pr_passing_envs(),
+        coreutils::pr_failing_env(),
+    );
+
+    for case in [&od, &pr] {
+        let rows: Vec<Vec<String>> = case
+            .direct_violations
+            .iter()
+            .map(|v| {
+                vec![
+                    v.clone(),
+                    if case.er_violations.contains(v) {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .into(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "{}: {} invariants mined, ER reproduced in {} occurrence(s)",
+                case.tool, case.invariants_mined, case.er_occurrences
+            ),
+            &[
+                "Violated invariant (root-cause candidate)",
+                "Also found via ER",
+            ],
+            &rows,
+        );
+    }
+    for case in [&od, &pr] {
+        let extras: Vec<&String> = case
+            .er_violations
+            .iter()
+            .filter(|v| !case.direct_violations.contains(v))
+            .collect();
+        if !extras.is_empty() {
+            println!("{} extra candidates via ER only: {extras:?}", case.tool);
+        }
+    }
+    println!(
+        "od: identical verdicts = {} | pr: identical verdicts = {} (paper: Daikon \
+         identifies the same potential root causes)",
+        od.identical, pr.identical
+    );
+    assert!(
+        od.identical && pr.identical,
+        "case study must match the paper"
+    );
+    write_json("case_study_mimic", &[od, pr]);
+}

@@ -1,0 +1,145 @@
+//! Regenerates **Fig. 5**: shepherded-symbolic-execution progress on
+//! PHP-74194 with (a) control flow only, (b) first-iteration data values,
+//! (c) second-iteration data values.
+//!
+//! The paper disables the solver timeout and lets all three configurations
+//! execute the same instruction stream; data values cut wall time from
+//! 11468 s to 5006 s (1st iteration) to 1800 s (2nd iteration). Here the
+//! same trace is shepherded with the recording sets ER selected in its
+//! first and second iterations, under a budget generous enough that no
+//! configuration stalls; the expected *shape* is monotonically decreasing
+//! solver work and wall time.
+//!
+//! Usage: `fig5 [--full]`
+
+use er_bench::harness::{fmt_duration, print_table, write_json};
+use er_core::instrument::InstrumentedProgram;
+use er_core::shepherd;
+use er_core::Reconstructor;
+use er_minilang::ir::InstrId;
+use er_solver::solve::Budget;
+use er_symex::SymConfig;
+use er_workloads::{by_name, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    label: String,
+    sites: usize,
+    steps: u64,
+    wall_seconds: f64,
+    solver_work_units: u64,
+    solver_queries: u64,
+    stalled: bool,
+}
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::FULL
+    } else {
+        Scale::TEST
+    };
+    let w = by_name("PHP-74194").expect("registered");
+    println!("# Fig. 5: benefit of recorded data values (PHP-74194)");
+
+    // Phase 1: run the normal reconstruction to learn which sites ER's
+    // first and second iterations selected.
+    let deployment = w.deployment(scale);
+    let report = Reconstructor::new(w.er_config()).reconstruct(&deployment);
+    assert!(report.reproduced(), "reconstruction must succeed first");
+    let iter1: Vec<InstrId> = report.iterations[0].new_sites.clone();
+    let mut iter2 = iter1.clone();
+    if report.iterations.len() > 1 {
+        iter2.extend(report.iterations[1].new_sites.clone());
+    }
+    eprintln!(
+        "selected sites: iteration1 {} iteration2 {}",
+        iter1.len(),
+        iter2.len()
+    );
+
+    // Phase 2: shepherd the same failing run under each recording set with
+    // a no-stall budget.
+    let generous = SymConfig {
+        solver_budget: Budget {
+            max_conflicts: 5_000_000,
+            max_array_cells: 20_000_000,
+            max_clauses: 100_000_000,
+        },
+        max_steps: 2_000_000_000,
+        always_concretize: false,
+    };
+    let configs: [(&str, Vec<InstrId>); 3] = [
+        ("control-flow + no data values", vec![]),
+        ("control-flow + 1st-iteration data values", iter1),
+        ("control-flow + 2nd-iteration data values", iter2),
+    ];
+
+    let mut series = Vec::new();
+    for (label, sites) in configs {
+        let inst = if sites.is_empty() {
+            InstrumentedProgram::unmodified(deployment.program())
+        } else {
+            InstrumentedProgram::new(deployment.program(), &sites)
+        };
+        let occ = deployment
+            .run_until_failure(&inst, None, 0, 50_000)
+            .expect("workload fails");
+        let rep = shepherd::shepherd(
+            &inst.program,
+            &occ.trace,
+            Some(&occ.failure_instrumented),
+            generous,
+        )
+        .expect("trace decodes");
+        let stalled = !matches!(rep.run.status, er_symex::ShepherdStatus::Completed);
+        eprintln!(
+            "  {label}: {} ({} work units{})",
+            fmt_duration(rep.wall),
+            rep.run.stats.work_units,
+            if stalled { ", STALLED" } else { "" }
+        );
+        series.push(Series {
+            label: label.to_string(),
+            sites: inst.sites.len(),
+            steps: rep.run.stats.steps,
+            wall_seconds: rep.wall.as_secs_f64(),
+            solver_work_units: rep.run.stats.work_units,
+            solver_queries: rep.run.stats.solver_queries,
+            stalled,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                s.sites.to_string(),
+                s.steps.to_string(),
+                fmt_duration(std::time::Duration::from_secs_f64(s.wall_seconds)),
+                s.solver_work_units.to_string(),
+                s.solver_queries.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5: symbex cost for the same trace under growing recording sets",
+        &[
+            "Configuration",
+            "Sites",
+            "Instructions",
+            "Wall",
+            "Solver work",
+            "Queries",
+        ],
+        &rows,
+    );
+    let w0 = series[0].solver_work_units as f64;
+    let w2 = series[2].solver_work_units.max(1) as f64;
+    println!(
+        "Speedup (work units, no-values vs 2nd-iteration): {:.1}x (paper: 11468s/1800s = 6.4x wall)",
+        w0 / w2
+    );
+    write_json("fig5", &series);
+}

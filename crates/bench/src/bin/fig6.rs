@@ -1,0 +1,163 @@
+//! Regenerates **Fig. 6**: runtime recording overhead of ER's PT-style
+//! tracing vs an rr-style record/replay engine, per application.
+//!
+//! Each workload's performance benchmark runs `reps` times under three
+//! monitors — none (baseline), ER (PT sink), rr (full recorder) — and the
+//! table reports mean normalized overhead with standard error, as in the
+//! paper (which measured ER at 0.3% average / 1.1% max and rr at 48.0%
+//! average / 142.2% max).
+//!
+//! Usage: `fig6 [--test] [--reps N]`
+
+use er_baselines::rr::RrRecorder;
+use er_bench::harness::{overhead_pct, print_table, stats, time_reps, write_json, Stats};
+use er_minilang::interp::Machine;
+use er_pt::sink::{PtConfig, PtSink};
+use er_workloads::{all, Scale, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    baseline_secs: Stats,
+    er_overhead_pct: Stats,
+    rr_overhead_pct: Stats,
+    er_trace_bytes: u64,
+    rr_trace_bytes: u64,
+}
+
+fn bench_workload(w: &Workload, scale: Scale, reps: usize) -> Row {
+    let program = w.program(scale);
+    let sched = w
+        .sched_gen
+        .map(|s| s(0))
+        .unwrap_or(er_minilang::interp::SchedConfig {
+            quantum: 1_000,
+            seed: 1,
+            max_instrs: 500_000_000,
+        });
+
+    // Warm up every configuration (page in code paths, size buffers).
+    let _ = Machine::new(&program, (w.perf_gen)(0))
+        .with_sched(sched)
+        .run();
+    let _ = Machine::with_sink(&program, (w.perf_gen)(0), PtSink::new(PtConfig::default()))
+        .with_sched(sched)
+        .run();
+    let _ = Machine::with_sink(&program, (w.perf_gen)(0), RrRecorder::new(sched))
+        .with_sched(sched)
+        .run();
+
+    // Paired measurement: each rep times all three configurations
+    // back-to-back so machine-load drift cancels in the ratios.
+    let mut base = Vec::with_capacity(reps);
+    let mut er_pcts = Vec::with_capacity(reps);
+    let mut rr_pcts = Vec::with_capacity(reps);
+    let mut er_bytes = 0u64;
+    let mut rr_bytes = 0u64;
+    for _ in 0..reps {
+        let t_base = time_reps(1, || {
+            let r = Machine::new(&program, (w.perf_gen)(1))
+                .with_sched(sched)
+                .run();
+            assert!(matches!(
+                r.outcome,
+                er_minilang::interp::RunOutcome::Completed
+            ));
+        })[0];
+        let t_er = time_reps(1, || {
+            let r = Machine::with_sink(&program, (w.perf_gen)(1), PtSink::new(PtConfig::default()))
+                .with_sched(sched)
+                .run();
+            er_bytes = r.sink.stats().bytes;
+        })[0];
+        let t_rr = time_reps(1, || {
+            let r = Machine::with_sink(&program, (w.perf_gen)(1), RrRecorder::new(sched))
+                .with_sched(sched)
+                .run();
+            rr_bytes = r.sink.finish().trace_bytes;
+        })[0];
+        base.push(t_base);
+        er_pcts.push(overhead_pct(t_base, t_er));
+        rr_pcts.push(overhead_pct(t_base, t_rr));
+    }
+    Row {
+        name: w.name.to_string(),
+        baseline_secs: stats(&base),
+        er_overhead_pct: stats(&er_pcts),
+        rr_overhead_pct: stats(&rr_pcts),
+        er_trace_bytes: er_bytes,
+        rr_trace_bytes: rr_bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_scale = args.iter().any(|a| a == "--test");
+    let scale = if test_scale { Scale::TEST } else { Scale::FULL };
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!("# Fig. 6: online recording overhead ({reps} reps)");
+
+    let mut rows_out = Vec::new();
+    for w in all() {
+        let row = bench_workload(&w, scale, reps);
+        eprintln!(
+            "  {}: ER {:+.2}% rr {:+.2}%",
+            row.name, row.er_overhead_pct.mean, row.rr_overhead_pct.mean
+        );
+        rows_out.push(row);
+    }
+
+    let rows: Vec<Vec<String>> = rows_out
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.1} ms", r.baseline_secs.mean * 1000.0),
+                format!(
+                    "{:+.2}% ± {:.2}",
+                    r.er_overhead_pct.mean, r.er_overhead_pct.stderr
+                ),
+                format!(
+                    "{:+.2}% ± {:.2}",
+                    r.rr_overhead_pct.mean, r.rr_overhead_pct.stderr
+                ),
+                r.er_trace_bytes.to_string(),
+                r.rr_trace_bytes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6: normalized recording overhead",
+        &[
+            "Application",
+            "Baseline",
+            "ER overhead",
+            "rr overhead",
+            "ER trace B",
+            "rr trace B",
+        ],
+        &rows,
+    );
+
+    let er_avg =
+        rows_out.iter().map(|r| r.er_overhead_pct.mean).sum::<f64>() / rows_out.len() as f64;
+    let er_max = rows_out
+        .iter()
+        .map(|r| r.er_overhead_pct.mean)
+        .fold(f64::MIN, f64::max);
+    let rr_avg =
+        rows_out.iter().map(|r| r.rr_overhead_pct.mean).sum::<f64>() / rows_out.len() as f64;
+    let rr_max = rows_out
+        .iter()
+        .map(|r| r.rr_overhead_pct.mean)
+        .fold(f64::MIN, f64::max);
+    println!("ER: avg {er_avg:.2}% max {er_max:.2}%  (paper: avg 0.3%, max 1.1%)");
+    println!("rr: avg {rr_avg:.2}% max {rr_max:.2}%  (paper: avg 48.0%, max 142.2%)");
+    write_json("fig6", &rows_out);
+}

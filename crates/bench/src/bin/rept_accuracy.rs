@@ -1,0 +1,101 @@
+//! Regenerates the **§2.2/§5.2 REPT accuracy comparison**: fraction of data
+//! values REPT-style reverse recovery gets wrong or loses as the
+//! reconstruction window grows, versus ER's exact reconstruction.
+//!
+//! Paper: REPT incorrectly recovers 15-60% of values for traces beyond
+//! 100K instructions, while ER "accurately reconstructs all data values".
+
+use er_baselines::rept::{ConcreteTape, ReptAnalysis};
+use er_bench::harness::{print_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    window: usize,
+    total: usize,
+    correct_rate: f64,
+    wrong_rate: f64,
+    unknown_rate: f64,
+}
+
+fn main() {
+    println!("# REPT recovery accuracy vs reconstruction window");
+    // A representative latent-corruption program in the spirit of the
+    // paper's MatrixSSL discussion: a working set that is repeatedly
+    // overwritten (the table cycles every 64 entries) with a mix of
+    // invertible arithmetic (recoverable backward from the crash state)
+    // and lossy operations (the modulo breaks inversion), so recovery
+    // quality is a genuine function of how far back the window reaches.
+    let src = r#"
+        global TBL: [u32; 64];
+        fn main() {
+            let n: u32 = input_u32(0);
+            let acc: u32 = 0;
+            for i: u32 = 0; i < n; i = i + 1 {
+                let x: u32 = acc + i;
+                let y: u32 = x ^ 2654435761;
+                acc = y % 255;
+                TBL[i % 64] = acc;
+                let probe: u32 = TBL[(i * 7) % 64];
+                let s: u32 = probe + 1;
+                print(s);
+            }
+            assert(acc == 999999999, "latent corruption detected");
+        }
+    "#;
+    let program = er_minilang::compile(src).expect("compiles");
+    let mut env = er_minilang::env::Env::new();
+    env.push_input(0, &40_000u32.to_le_bytes());
+    let tape = ConcreteTape::record(&program, env, 2_000_000).expect("single-threaded");
+    assert!(tape.faulted, "tape must end at the crash");
+    println!(
+        "tape length: {} value-defining instructions",
+        tape.entries.len()
+    );
+
+    let rept = ReptAnalysis::default();
+    let mut points = Vec::new();
+    for window in [100usize, 1_000, 10_000, 50_000, 100_000, 500_000] {
+        if window > tape.entries.len() * 2 {
+            break;
+        }
+        let r = rept.analyze(&tape, window);
+        eprintln!(
+            "  window {window}: correct {:.1}% wrong {:.1}% unknown {:.1}%",
+            r.correct_rate() * 100.0,
+            100.0 * r.wrong as f64 / r.total.max(1) as f64,
+            100.0 * r.unknown as f64 / r.total.max(1) as f64
+        );
+        points.push(Point {
+            window,
+            total: r.total,
+            correct_rate: r.correct_rate(),
+            wrong_rate: r.wrong as f64 / r.total.max(1) as f64,
+            unknown_rate: r.unknown as f64 / r.total.max(1) as f64,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.window.to_string(),
+                p.total.to_string(),
+                format!("{:.1}%", p.correct_rate * 100.0),
+                format!("{:.1}%", p.wrong_rate * 100.0),
+                format!("{:.1}%", p.unknown_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "REPT-style recovery vs window (ER recovers 100% by construction)",
+        &["Window (defs)", "Graded", "Correct", "Wrong", "Unknown"],
+        &rows,
+    );
+    let last = points.last().expect("at least one window");
+    println!(
+        "Largest window degradation: {:.1}% (paper: 15-60% beyond 100K instructions)",
+        (1.0 - last.correct_rate) * 100.0
+    );
+    write_json("rept_accuracy", &points);
+}

@@ -1,0 +1,29 @@
+//! Quick full-suite verifier: reconstructs all 13 workloads at test scale
+//! and checks occurrence counts against the engineered expectations.
+//! Exits nonzero on any mismatch (used as a CI-style smoke check).
+
+use er_core::Reconstructor;
+use er_workloads::{all, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut ok = true;
+    for w in all() {
+        let report = Reconstructor::new(w.er_config()).reconstruct(&w.deployment(Scale::TEST));
+        let status = report.reproduced() && report.occurrences == w.expected_occurrences;
+        println!(
+            "{:22} reproduced={} occ={} (expect {}) {}",
+            w.name,
+            report.reproduced(),
+            report.occurrences,
+            w.expected_occurrences,
+            if status { "OK" } else { "MISMATCH" }
+        );
+        ok &= status;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,3 @@
+//! Shared helpers for the benchmark binaries live in the binaries
+//! themselves; this library exists to anchor Criterion bench targets.
+pub mod harness;

@@ -1,0 +1,214 @@
+//! The simulated production deployment (paper Fig. 2, left half).
+//!
+//! A [`Deployment`] owns the original program and a model of its production
+//! workload: an input generator indexed by run number (different users send
+//! different requests) and a per-run schedule (different machines interleave
+//! threads differently). ER runs the *instrumented* program under always-on
+//! PT tracing until the target failure reoccurs.
+
+use crate::instrument::InstrumentedProgram;
+use er_minilang::env::Env;
+use er_minilang::error::Failure;
+use er_minilang::interp::{Machine, RunOutcome, SchedConfig};
+use er_minilang::ir::Program;
+use er_pt::sink::{PtConfig, PtSink, PtStats, PtTrace};
+
+/// One observed production failure with its shipped runtime trace.
+#[derive(Debug)]
+pub struct FailureOccurrence {
+    /// Failure identity in *original* program coordinates.
+    pub failure: Failure,
+    /// Failure identity in the instrumented program's coordinates (what
+    /// shepherded symbolic execution must match).
+    pub failure_instrumented: Failure,
+    /// The runtime trace shipped to the analysis engine.
+    pub trace: PtTrace,
+    /// Which production run failed (0-based).
+    pub run_index: u64,
+    /// Scheduler configuration of the failing run.
+    pub sched: SchedConfig,
+    /// Dynamic instructions of the failing run (Table 1's `#Instr`).
+    pub instr_count: u64,
+    /// Online tracing counters for the failing run.
+    pub pt_stats: PtStats,
+}
+
+/// A simulated production environment for one application.
+pub struct Deployment {
+    program: Program,
+    input_gen: Box<dyn Fn(u64) -> Env>,
+    sched_gen: Box<dyn Fn(u64) -> SchedConfig>,
+    pt_config: PtConfig,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("funcs", &self.program.funcs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Deployment {
+    /// A deployment of `program` whose run `k` receives `input_gen(k)`.
+    pub fn new(program: Program, input_gen: impl Fn(u64) -> Env + 'static) -> Self {
+        Deployment {
+            program,
+            input_gen: Box::new(input_gen),
+            sched_gen: Box::new(|run| SchedConfig {
+                quantum: 1_000,
+                seed: run + 1,
+                max_instrs: 500_000_000,
+            }),
+            pt_config: PtConfig::default(),
+        }
+    }
+
+    /// Overrides the per-run scheduler configuration.
+    pub fn with_sched(mut self, sched_gen: impl Fn(u64) -> SchedConfig + 'static) -> Self {
+        self.sched_gen = Box::new(sched_gen);
+        self
+    }
+
+    /// Overrides the PT configuration (e.g. ring-buffer size).
+    pub fn with_pt_config(mut self, config: PtConfig) -> Self {
+        self.pt_config = config;
+        self
+    }
+
+    /// The original (uninstrumented) program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The environment production run `k` would receive.
+    pub fn env_for(&self, run: u64) -> Env {
+        (self.input_gen)(run)
+    }
+
+    /// The schedule production run `k` would use.
+    pub fn sched_for(&self, run: u64) -> SchedConfig {
+        (self.sched_gen)(run)
+    }
+
+    /// Executes one production run of `inst` under PT tracing.
+    pub fn run_once(&self, inst: &InstrumentedProgram, run: u64) -> (RunOutcome, PtTrace, u64) {
+        let env = self.env_for(run);
+        let sched = self.sched_for(run);
+        let report = Machine::with_sink(&inst.program, env, PtSink::new(self.pt_config))
+            .with_sched(sched)
+            .run();
+        (report.outcome, report.sink.finish(), report.instr_count)
+    }
+
+    /// Executes one *unmonitored* production run (tracing disabled — the
+    /// paper's §3.1 option of enabling tracing only after a failure has
+    /// been observed several times).
+    pub fn run_once_untraced(&self, inst: &InstrumentedProgram, run: u64) -> (RunOutcome, u64) {
+        let env = self.env_for(run);
+        let sched = self.sched_for(run);
+        let report = Machine::new(&inst.program, env).with_sched(sched).run();
+        (report.outcome, report.instr_count)
+    }
+
+    /// Waits (without tracing) until a failure matching `target` occurs;
+    /// returns the failing run index and the failure in original
+    /// coordinates.
+    pub fn observe_failure_untraced(
+        &self,
+        inst: &InstrumentedProgram,
+        target: Option<&Failure>,
+        start_run: u64,
+        max_runs: u64,
+    ) -> Option<(u64, Failure)> {
+        for run in start_run..start_run + max_runs {
+            let (outcome, _) = self.run_once_untraced(inst, run);
+            if let RunOutcome::Failure(f) = outcome {
+                let original = inst.failure_to_original(&f);
+                if target.is_none_or(|t| original.same_failure(t)) {
+                    return Some((run, original));
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs production until a failure occurs that matches `target` (any
+    /// failure if `target` is `None`), starting at `start_run` and giving
+    /// up after `max_runs` runs.
+    pub fn run_until_failure(
+        &self,
+        inst: &InstrumentedProgram,
+        target: Option<&Failure>,
+        start_run: u64,
+        max_runs: u64,
+    ) -> Option<FailureOccurrence> {
+        for run in start_run..start_run + max_runs {
+            let (outcome, trace, instr_count) = self.run_once(inst, run);
+            if let RunOutcome::Failure(f) = outcome {
+                let original = inst.failure_to_original(&f);
+                if target.is_none_or(|t| original.same_failure(t)) {
+                    let pt_stats = trace.stats;
+                    return Some(FailureOccurrence {
+                        failure: original,
+                        failure_instrumented: f,
+                        trace,
+                        run_index: run,
+                        sched: self.sched_for(run),
+                        instr_count,
+                        pt_stats,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_minilang::compile;
+
+    fn deployment() -> Deployment {
+        let program = compile(
+            r#"
+            fn main() {
+                let a: u32 = input_u32(0);
+                if a % 5 == 3 { abort("mod5"); }
+                print(a);
+            }
+            "#,
+        )
+        .unwrap();
+        Deployment::new(program, |run| {
+            let mut env = Env::new();
+            env.push_input(0, &(run as u32).to_le_bytes());
+            env
+        })
+    }
+
+    #[test]
+    fn waits_for_matching_failure() {
+        let d = deployment();
+        let inst = InstrumentedProgram::unmodified(d.program());
+        let occ = d.run_until_failure(&inst, None, 0, 100).unwrap();
+        assert_eq!(occ.run_index, 3, "run 3 is the first with a%5==3");
+        assert!(occ.instr_count > 0);
+        assert!(occ.pt_stats.branches > 0);
+        // The next occurrence of the same failure.
+        let occ2 = d
+            .run_until_failure(&inst, Some(&occ.failure), occ.run_index + 1, 100)
+            .unwrap();
+        assert_eq!(occ2.run_index, 8);
+        assert!(occ2.failure.same_failure(&occ.failure));
+    }
+
+    #[test]
+    fn gives_up_when_no_failure() {
+        let program = compile("fn main() { print(1); }").unwrap();
+        let d = Deployment::new(program, |_| Env::new());
+        let inst = InstrumentedProgram::unmodified(d.program());
+        assert!(d.run_until_failure(&inst, None, 0, 10).is_none());
+    }
+}

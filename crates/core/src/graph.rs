@@ -1,0 +1,429 @@
+//! Constraint-graph analysis (paper §3.2-§3.3.1).
+//!
+//! The "constraint graph" is the expression DAG the shepherded run built:
+//! nodes are operations, constants, symbolic inputs, arrays, and symbolic
+//! memory reads/writes; edges are operand dependencies. This module finds
+//! the two patterns the paper identifies as the main sources of constraint
+//! complexity — the **longest symbolic write chain** and the chain updating
+//! the **largest symbolic memory object** — and extracts the *bottleneck
+//! set*: every symbolic value read or written by operations in those
+//! chains.
+
+use er_solver::expr::{ArrayNode, ArrayRef, ExprPool, ExprRef, Node};
+use std::collections::{HashMap, HashSet};
+
+/// One symbolic value in the bottleneck set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BottleneckElement {
+    /// The symbolic value.
+    pub expr: ExprRef,
+    /// Its size in bytes (the `sizeof` factor of the recording cost).
+    pub size_bytes: u64,
+}
+
+/// A symbolic write chain: the `Write` nodes from a chain top down to the
+/// base array.
+#[derive(Debug, Clone)]
+pub struct WriteChain {
+    /// Topmost array node of the chain.
+    pub top: ArrayRef,
+    /// Number of `Write` nodes.
+    pub len: u64,
+    /// The base array's size in bytes.
+    pub object_bytes: u64,
+    /// The base array's diagnostic name.
+    pub object_name: String,
+}
+
+/// The analyzed constraint graph.
+#[derive(Debug)]
+pub struct ConstraintGraph {
+    /// Total expression nodes (paper §5.3 reports graph sizes).
+    pub node_count: usize,
+    /// Total array nodes.
+    pub array_node_count: usize,
+    /// Longest symbolic write chain found.
+    pub longest_chain: Option<WriteChain>,
+    /// Chain updating the largest symbolic object (may equal
+    /// `longest_chain`).
+    pub largest_object_chain: Option<WriteChain>,
+    /// The bottleneck set (paper §3.3.2).
+    pub bottleneck: Vec<BottleneckElement>,
+}
+
+impl ConstraintGraph {
+    /// Analyzes the pool built by a shepherded run.
+    ///
+    /// `path` is consulted so that only arrays actually involved in the
+    /// run's constraints are considered.
+    pub fn analyze(pool: &ExprPool) -> ConstraintGraph {
+        // Depth of every array node (number of Write nodes down to base).
+        let n_arrays = pool.array_count();
+        let mut depth = vec![0u64; n_arrays];
+        let mut has_parent = vec![false; n_arrays];
+        for i in 0..n_arrays {
+            if let ArrayNode::Store { arr, .. } = pool.array_node(ArrayRef(i as u32)) {
+                depth[i] = depth[arr.0 as usize] + 1;
+                has_parent[arr.0 as usize] = true;
+            }
+        }
+        // Chain tops: store nodes no other store builds on. (Intermediate
+        // states are prefixes of their top's chain.) Base arrays that are
+        // *read* through a symbolic index also participate — "the size of
+        // the accessed symbolic memory" (§3.3.1) burdens the solver whether
+        // or not the object was ever symbolically written.
+        let mut tops: Vec<ArrayRef> = (0..n_arrays)
+            .filter(|&i| {
+                !has_parent[i]
+                    && matches!(pool.array_node(ArrayRef(i as u32)), ArrayNode::Store { .. })
+            })
+            .map(|i| ArrayRef(i as u32))
+            .collect();
+        let mut read_bases: Vec<ArrayRef> = (0..pool.len() as u32)
+            .map(ExprRef)
+            .filter_map(|e| match pool.node(e) {
+                Node::Read { arr, index } if pool.as_const(*index).is_none() => {
+                    Some(base_of(pool, *arr))
+                }
+                _ => None,
+            })
+            .collect();
+        read_bases.sort_unstable();
+        read_bases.dedup();
+        tops.extend(read_bases);
+        tops.sort_unstable();
+        tops.dedup();
+
+        let describe = |top: ArrayRef| -> WriteChain {
+            let base = base_of(pool, top);
+            let ArrayNode::Base(id) = pool.array_node(base) else {
+                unreachable!("base_of returns a base");
+            };
+            let decl = pool.array_decl(*id);
+            WriteChain {
+                top,
+                len: depth[top.0 as usize],
+                object_bytes: decl.len * u64::from(decl.elem_bits) / 8,
+                object_name: decl.name.clone(),
+            }
+        };
+
+        let longest_chain = tops
+            .iter()
+            .max_by_key(|t| depth[t.0 as usize])
+            .map(|&t| describe(t));
+        // The largest-object chain breaks ties toward a *different* base
+        // array than the longest chain: when two equally large objects are
+        // in play (e.g. a hash table and the pointer table it guards), the
+        // two-chain heuristic should cover both, or selection starves on
+        // whichever object it ignored.
+        let longest_base = longest_chain.as_ref().map(|c| base_of(pool, c.top));
+        let largest_object_chain = tops
+            .iter()
+            .map(|&t| (base_of(pool, t), describe(t)))
+            .max_by_key(|(base, c)| (c.object_bytes, Some(*base) != longest_base, c.len))
+            .map(|(_, c)| c);
+
+        // The bottleneck set: symbolic values read/written by operations in
+        // the two chains.
+        let mut chain_arrays: HashSet<ArrayRef> = HashSet::new();
+        for chain in [&longest_chain, &largest_object_chain]
+            .into_iter()
+            .flatten()
+        {
+            let mut cur = chain.top;
+            loop {
+                chain_arrays.insert(cur);
+                match pool.array_node(cur) {
+                    ArrayNode::Store { arr, .. } => cur = *arr,
+                    ArrayNode::Base(_) => break,
+                }
+            }
+        }
+
+        let mut bottleneck: Vec<BottleneckElement> = Vec::new();
+        let mut seen: HashSet<ExprRef> = HashSet::new();
+        let push = |pool: &ExprPool,
+                    e: ExprRef,
+                    out: &mut Vec<BottleneckElement>,
+                    seen: &mut HashSet<ExprRef>| {
+            if pool.as_const(e).is_some() || !seen.insert(e) {
+                return;
+            }
+            out.push(BottleneckElement {
+                expr: e,
+                size_bytes: u64::from(pool.sort(e).bits().div_ceil(8)),
+            });
+        };
+        // Writes in the chains: their indices and values.
+        for &a in &chain_arrays {
+            if let ArrayNode::Store { index, value, .. } = pool.array_node(a) {
+                push(pool, *index, &mut bottleneck, &mut seen);
+                push(pool, *value, &mut bottleneck, &mut seen);
+            }
+        }
+        // Reads over the chains: their indices and the read results
+        // themselves (the paper's `V[x]` element).
+        for i in 0..pool.len() {
+            let e = ExprRef(i as u32);
+            if let Node::Read { arr, index } = pool.node(e) {
+                if chain_arrays.contains(arr) {
+                    push(pool, *index, &mut bottleneck, &mut seen);
+                    push(pool, e, &mut bottleneck, &mut seen);
+                }
+            }
+        }
+        // Deterministic order for downstream processing.
+        bottleneck.sort_by_key(|b| b.expr);
+
+        ConstraintGraph {
+            node_count: pool.len(),
+            array_node_count: n_arrays,
+            longest_chain,
+            largest_object_chain,
+            bottleneck,
+        }
+    }
+
+    /// Whether the graph exhibits either complexity pattern.
+    pub fn has_chains(&self) -> bool {
+        self.longest_chain.is_some()
+    }
+}
+
+/// The base array underneath `a`.
+pub fn base_of(pool: &ExprPool, mut a: ArrayRef) -> ArrayRef {
+    while let ArrayNode::Store { arr, .. } = pool.array_node(a) {
+        a = *arr;
+    }
+    a
+}
+
+/// The direct sub-expressions of `e`, including (for reads) the indices and
+/// values of every store on the underlying chain — the graph's "address
+/// dependency" edges from Fig. 4.
+pub fn children(pool: &ExprPool, e: ExprRef) -> Vec<ExprRef> {
+    match pool.node(e) {
+        Node::Const { .. } | Node::BoolConst(_) | Node::Var { .. } => vec![],
+        Node::Bin { a, b, .. } | Node::Cmp { a, b, .. } => vec![*a, *b],
+        Node::AndB(a, b) | Node::OrB(a, b) => vec![*a, *b],
+        Node::Not(a) | Node::ZExt { a, .. } | Node::Trunc { a, .. } | Node::BoolToBv { a, .. } => {
+            vec![*a]
+        }
+        Node::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => vec![*cond, *then_e, *else_e],
+        Node::Read { arr, index } => {
+            let mut deps = vec![*index];
+            let mut cur = *arr;
+            while let ArrayNode::Store { arr, index, value } = pool.array_node(cur) {
+                deps.push(*index);
+                deps.push(*value);
+                cur = *arr;
+            }
+            deps
+        }
+    }
+}
+
+/// Computes which expressions become concrete ("deducible") once every
+/// expression in `given` is known — the closure used both to shrink the
+/// recording set (paper's `V[x]` example) and to validate selections.
+#[derive(Debug)]
+pub struct Deducibility<'p> {
+    pool: &'p ExprPool,
+    given: HashSet<ExprRef>,
+    memo: HashMap<ExprRef, bool>,
+}
+
+impl<'p> Deducibility<'p> {
+    /// A checker treating `given` as known values.
+    pub fn new(pool: &'p ExprPool, given: impl IntoIterator<Item = ExprRef>) -> Self {
+        Deducibility {
+            pool,
+            given: given.into_iter().collect(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Whether `e`'s concrete value is determined by the given set.
+    pub fn deducible(&mut self, e: ExprRef) -> bool {
+        if let Some(&d) = self.memo.get(&e) {
+            return d;
+        }
+        // Break potential (impossible in a DAG) cycles pessimistically.
+        self.memo.insert(e, false);
+        let d = if self.given.contains(&e) || self.pool.as_const(e).is_some() {
+            true
+        } else {
+            match self.pool.node(e) {
+                Node::Var { .. } => false,
+                Node::Read { arr, index } => {
+                    let idx = *index;
+                    let mut ok = self.deducible(idx);
+                    let mut cur = *arr;
+                    while ok {
+                        match self.pool.array_node(cur) {
+                            ArrayNode::Store { arr, index, value } => {
+                                let (i2, v2, below) = (*index, *value, *arr);
+                                ok = self.deducible(i2) && self.deducible(v2);
+                                cur = below;
+                            }
+                            ArrayNode::Base(_) => break,
+                        }
+                    }
+                    ok
+                }
+                _ => {
+                    let kids = children(self.pool, e);
+                    kids.into_iter().all(|c| self.deducible(c))
+                }
+            }
+        };
+        self.memo.insert(e, d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_solver::expr::{BvOp, CmpKind};
+
+    /// Builds the paper's Fig. 3/4 constraint structure by hand.
+    fn fig4_pool() -> (ExprPool, [ExprRef; 5]) {
+        let mut p = ExprPool::new();
+        let la = p.var("a", 32);
+        let lb = p.var("b", 32);
+        let lc = p.var("c", 32);
+        let ld = p.var("d", 32);
+        let x = p.bin(BvOp::Add, la, lb);
+        let v = p.array("V", 1024, 8, None);
+        let x64 = p.zext(x, 64);
+        let one = p.bv_const(1, 8);
+        // Write2 = Write(V, x, 1)
+        let w2 = p.write(v, x64, one);
+        // Read3 = Read(Write2, c); Eq3: Read3 == 0
+        let lc64 = p.zext(lc, 64);
+        let r3 = p.read(w2, lc64);
+        let zero8 = p.bv_const(0, 8);
+        let _eq3 = p.cmp(CmpKind::Eq, r3, zero8);
+        // Write3 = Write(Write2, c, 512->8bit truncated stand-in)
+        let v512 = p.bv_const(0xff, 8);
+        let w3 = p.write(w2, lc64, v512);
+        // Read4 = Read(Write3, x); Write4 = Write(Write3, Read4, x)
+        let r4 = p.read(w3, x64);
+        let r4_64 = p.zext(r4, 64);
+        let x8 = p.trunc(x, 8);
+        let w4 = p.write(w3, r4_64, x8);
+        // Read5 = Read(Write4, d)
+        let ld64 = p.zext(ld, 64);
+        let r5 = p.read(w4, ld64);
+        let _eq5 = p.cmp(CmpKind::Eq, r5, x8);
+        (p, [la, lb, lc, ld, x])
+    }
+
+    #[test]
+    fn finds_longest_chain_and_object() {
+        let (p, _) = fig4_pool();
+        let g = ConstraintGraph::analyze(&p);
+        assert!(g.has_chains());
+        let chain = g.longest_chain.as_ref().unwrap();
+        assert_eq!(chain.len, 3, "Write2 -> Write3 -> Write4");
+        assert_eq!(chain.object_name, "V");
+        assert_eq!(chain.object_bytes, 1024);
+        let largest = g.largest_object_chain.as_ref().unwrap();
+        assert_eq!(largest.object_name, "V");
+        assert!(g.node_count > 0);
+    }
+
+    #[test]
+    fn bottleneck_contains_paper_elements() {
+        let (p, [_, _, lc, _, x]) = fig4_pool();
+        let g = ConstraintGraph::analyze(&p);
+        let exprs: HashSet<ExprRef> = g.bottleneck.iter().map(|b| b.expr).collect();
+        // x (as zext to 64, the store index) and λc must be involved.
+        let x64 = exprs
+            .iter()
+            .any(|&e| matches!(p.node(e), Node::ZExt { a, .. } if *a == x));
+        assert!(x64, "x's address use is in the bottleneck set");
+        let lc64 = exprs
+            .iter()
+            .any(|&e| matches!(p.node(e), Node::ZExt { a, .. } if *a == lc));
+        assert!(lc64, "λc's address use is in the bottleneck set");
+        // The Read result V[x] is in the set.
+        let has_read = exprs
+            .iter()
+            .any(|&e| matches!(p.node(e), Node::Read { .. }));
+        assert!(has_read, "a read value is in the bottleneck set");
+    }
+
+    #[test]
+    fn no_chains_without_symbolic_writes() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 32);
+        let y = p.var("y", 32);
+        let _s = p.bin(BvOp::Add, x, y);
+        let g = ConstraintGraph::analyze(&p);
+        assert!(!g.has_chains());
+        assert!(g.bottleneck.is_empty());
+    }
+
+    #[test]
+    fn deducibility_propagates_through_ops() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 32);
+        let b = p.var("b", 32);
+        let sum = p.bin(BvOp::Add, a, b);
+        let mut d = Deducibility::new(&p, [a, b]);
+        assert!(d.deducible(sum));
+        let mut d2 = Deducibility::new(&p, [a]);
+        assert!(!d2.deducible(sum));
+        let mut d3 = Deducibility::new(&p, [sum]);
+        assert!(d3.deducible(sum));
+        assert!(!d3.deducible(a), "a sum does not determine its operands");
+    }
+
+    #[test]
+    fn deducibility_resolves_reads_with_known_chain() {
+        // The paper's key example: given x and λc, V[x] becomes deducible.
+        let (p, [la, lb, lc, _, _]) = fig4_pool();
+        let read4 = (0..p.len())
+            .map(|i| ExprRef(i as u32))
+            .find(|&e| {
+                // Read over a chain of length 2 (Write3).
+                if let Node::Read { arr, .. } = p.node(e) {
+                    let mut n = 0;
+                    let mut cur = *arr;
+                    while let ArrayNode::Store { arr, .. } = p.array_node(cur) {
+                        n += 1;
+                        cur = *arr;
+                    }
+                    n == 2
+                } else {
+                    false
+                }
+            })
+            .expect("Read4 exists");
+        // Given a, b, c: x = a+b deducible, chain indices/values deducible,
+        // so Read4 (V[x]) is deducible.
+        let mut d = Deducibility::new(&p, [la, lb, lc]);
+        assert!(d.deducible(read4));
+        // Without c, the chain's second store index is unknown.
+        let mut d2 = Deducibility::new(&p, [la, lb]);
+        assert!(!d2.deducible(read4));
+    }
+
+    #[test]
+    fn children_of_read_cover_address_dependencies() {
+        let (p, _) = fig4_pool();
+        for i in 0..p.len() {
+            let e = ExprRef(i as u32);
+            if let Node::Read { .. } = p.node(e) {
+                assert!(!children(&p, e).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,617 @@
+//! The iterative reconstruction driver (paper Fig. 2 and §3.3.4).
+//!
+//! Each iteration waits for the failure to reoccur in the deployment,
+//! shepherds symbolic execution along the shipped trace, and either solves
+//! for a concrete test case or — on a stall — selects key data values,
+//! instruments the program, and redeploys. The loop is guaranteed to make
+//! progress because every iteration concretizes at least the newly recorded
+//! values; it gives up only on divergence or after `max_occurrences`.
+
+use crate::deploy::Deployment;
+use crate::graph::ConstraintGraph;
+use crate::instrument::InstrumentedProgram;
+use crate::select::{self, RecordingSet, SelectionInput, SelectorKind};
+use crate::shepherd::{self, SolveFailure};
+use crate::testcase::{TestCase, VerifyResult};
+use er_minilang::error::Failure;
+use er_minilang::ir::InstrId;
+use er_solver::solve::Budget;
+use er_symex::{ShepherdStatus, SymConfig, TraceDivergence};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Configuration of the reconstruction loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ErConfig {
+    /// Shepherded-symbolic-execution configuration (per-query budget).
+    pub sym: SymConfig,
+    /// Budget for the final input solve.
+    pub final_budget: Budget,
+    /// Maximum failure occurrences to harvest before giving up.
+    pub max_occurrences: u32,
+    /// Maximum production runs to wait for each reoccurrence.
+    pub max_runs_per_occurrence: u64,
+    /// Data-value selection strategy.
+    pub selector: SelectorKind,
+    /// Observe this many failures *without* tracing before enabling the
+    /// always-on trace (paper §3.1: "developers can configure ER to enable
+    /// tracing only after a failure is observed multiple times"). These
+    /// count toward the reported occurrences.
+    pub tracing_warmup: u32,
+}
+
+impl Default for ErConfig {
+    fn default() -> Self {
+        ErConfig {
+            sym: SymConfig::default(),
+            final_budget: Budget::default(),
+            max_occurrences: 16,
+            max_runs_per_occurrence: 50_000,
+            selector: SelectorKind::KeyValue,
+            tracing_warmup: 0,
+        }
+    }
+}
+
+/// Why reconstruction gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GiveUpReason {
+    /// The deployment never produced (a reoccurrence of) the failure.
+    NoFailureObserved,
+    /// `max_occurrences` exhausted while still stalling.
+    OccurrenceLimit,
+    /// Shepherded execution disagreed with the trace.
+    Diverged(TraceDivergence),
+    /// The path constraint was unsatisfiable.
+    Unsat,
+    /// The trace could not be decoded.
+    TraceDecode(String),
+    /// A stall occurred but selection produced no new site to record.
+    NothingToRecord,
+    /// The generated test case failed replay verification.
+    VerificationFailed,
+}
+
+/// Final outcome of a reconstruction.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A verified failure-reproducing test case.
+    Reproduced(TestCase),
+    /// Reconstruction failed.
+    GaveUp(GiveUpReason),
+}
+
+impl Outcome {
+    /// The test case, if reproduction succeeded.
+    pub fn test_case(&self) -> Option<&TestCase> {
+        match self {
+            Outcome::Reproduced(tc) => Some(tc),
+            Outcome::GaveUp(_) => None,
+        }
+    }
+}
+
+/// Per-iteration statistics (feeds Table 1 and §5.3).
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// 1-based occurrence number.
+    pub occurrence: u32,
+    /// Which production run failed.
+    pub run_index: u64,
+    /// Dynamic instructions in the failing run.
+    pub instr_count: u64,
+    /// Trace bytes shipped.
+    pub trace_bytes: u64,
+    /// Wall-clock time of shepherded symbolic execution.
+    pub symbex_wall: Duration,
+    /// Instructions symbolically executed.
+    pub symbex_steps: u64,
+    /// Solver work units expended.
+    pub solver_work: u64,
+    /// Stall description, if the iteration stalled.
+    pub stalled: Option<String>,
+    /// Constraint-graph node count at analysis time.
+    pub graph_nodes: usize,
+    /// Longest symbolic write chain observed.
+    pub longest_chain: u64,
+    /// Sites selected for the next iteration.
+    pub sites_selected: usize,
+    /// Projected recording cost (bytes/run) of the cumulative set.
+    pub recorded_bytes: u64,
+    /// Newly selected sites (original coordinates).
+    pub new_sites: Vec<InstrId>,
+}
+
+/// The full reconstruction record.
+#[derive(Debug)]
+pub struct ReconstructionReport {
+    /// Outcome.
+    pub outcome: Outcome,
+    /// Failure occurrences consumed (Table 1's `#Occur`).
+    pub occurrences: u32,
+    /// Per-iteration details.
+    pub iterations: Vec<IterationStats>,
+    /// Total shepherded-symbolic-execution wall time (Table 1's
+    /// "Symbex Time", summed over iterations).
+    pub total_symbex: Duration,
+    /// The target failure (original coordinates), once observed.
+    pub target: Option<Failure>,
+}
+
+impl ReconstructionReport {
+    /// Whether a verified test case was produced.
+    pub fn reproduced(&self) -> bool {
+        matches!(self.outcome, Outcome::Reproduced(_))
+    }
+}
+
+/// The ER analysis engine.
+#[derive(Debug, Clone, Default)]
+pub struct Reconstructor {
+    config: ErConfig,
+}
+
+impl Reconstructor {
+    /// An engine with the given configuration.
+    pub fn new(config: ErConfig) -> Self {
+        Reconstructor { config }
+    }
+
+    /// Reconstructs the first failure the deployment produces.
+    pub fn reconstruct(&self, deployment: &Deployment) -> ReconstructionReport {
+        let mut sites: Vec<InstrId> = Vec::new();
+        let mut target: Option<Failure> = None;
+        let mut next_run = 0u64;
+        let mut iterations: Vec<IterationStats> = Vec::new();
+        let mut total_symbex = Duration::ZERO;
+
+        // Optional unmonitored warm-up: confirm the failure actually
+        // reoccurs before paying for always-on tracing.
+        let mut warmup_consumed = 0u32;
+        if self.config.tracing_warmup > 0 {
+            let inst = InstrumentedProgram::unmodified(deployment.program());
+            for _ in 0..self.config.tracing_warmup {
+                let Some((run, failure)) = deployment.observe_failure_untraced(
+                    &inst,
+                    target.as_ref(),
+                    next_run,
+                    self.config.max_runs_per_occurrence,
+                ) else {
+                    return self.give_up(
+                        GiveUpReason::NoFailureObserved,
+                        warmup_consumed,
+                        iterations,
+                        total_symbex,
+                        target,
+                    );
+                };
+                next_run = run + 1;
+                target.get_or_insert(failure);
+                warmup_consumed += 1;
+            }
+        }
+
+        for occurrence in (warmup_consumed + 1)..=self.config.max_occurrences {
+            let inst = if sites.is_empty() {
+                InstrumentedProgram::unmodified(deployment.program())
+            } else {
+                InstrumentedProgram::new(deployment.program(), &sites)
+            };
+            let Some(occ) = deployment.run_until_failure(
+                &inst,
+                target.as_ref(),
+                next_run,
+                self.config.max_runs_per_occurrence,
+            ) else {
+                return self.give_up(
+                    GiveUpReason::NoFailureObserved,
+                    occurrence - 1,
+                    iterations,
+                    total_symbex,
+                    target,
+                );
+            };
+            next_run = occ.run_index + 1;
+            if target.is_none() {
+                target = Some(occ.failure.clone());
+            }
+
+            let report = match shepherd::shepherd(
+                &inst.program,
+                &occ.trace,
+                Some(&occ.failure_instrumented),
+                self.config.sym,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    return self.give_up(
+                        GiveUpReason::TraceDecode(e.to_string()),
+                        occurrence,
+                        iterations,
+                        total_symbex,
+                        target,
+                    )
+                }
+            };
+            total_symbex += report.wall;
+            let mut run = report.run;
+            let mut stats = IterationStats {
+                occurrence,
+                run_index: occ.run_index,
+                instr_count: occ.instr_count,
+                trace_bytes: occ.pt_stats.bytes,
+                symbex_wall: report.wall,
+                symbex_steps: run.stats.steps,
+                solver_work: run.stats.work_units,
+                stalled: None,
+                graph_nodes: run.pool.len(),
+                longest_chain: run.longest_chain,
+                sites_selected: 0,
+                recorded_bytes: 0,
+                new_sites: Vec::new(),
+            };
+
+            let stalled = match &run.status {
+                ShepherdStatus::Completed => {
+                    match shepherd::solve_inputs(&mut run, &self.config.final_budget) {
+                        Ok(inputs) => {
+                            let tc = TestCase {
+                                inputs,
+                                sched: occ.sched,
+                                expected: target.clone().expect("target set"),
+                            };
+                            let verify = tc.verify(deployment.program());
+                            iterations.push(stats);
+                            return if matches!(verify, VerifyResult::Reproduced { .. }) {
+                                ReconstructionReport {
+                                    outcome: Outcome::Reproduced(tc),
+                                    occurrences: occurrence,
+                                    iterations,
+                                    total_symbex,
+                                    target,
+                                }
+                            } else {
+                                ReconstructionReport {
+                                    outcome: Outcome::GaveUp(GiveUpReason::VerificationFailed),
+                                    occurrences: occurrence,
+                                    iterations,
+                                    total_symbex,
+                                    target,
+                                }
+                            };
+                        }
+                        Err(SolveFailure::Stall(reason)) => format!("final solve: {reason}"),
+                        Err(SolveFailure::Unsat) => {
+                            iterations.push(stats);
+                            return self.give_up(
+                                GiveUpReason::Unsat,
+                                occurrence,
+                                iterations,
+                                total_symbex,
+                                target,
+                            );
+                        }
+                    }
+                }
+                ShepherdStatus::Stalled { reason, at } => format!("{reason} at {at}"),
+                ShepherdStatus::Diverged(d) => {
+                    // Most divergences come from interleavings finer than
+                    // the chunk order can express (§3.4). The paper's remedy
+                    // is the iterative loop itself: wait for the failure to
+                    // reoccur — the next occurrence's schedule may satisfy
+                    // the coarse-interleaving hypothesis.
+                    stats.stalled = Some(format!("diverged: {d:?}"));
+                    iterations.push(stats);
+                    continue;
+                }
+            };
+            stats.stalled = Some(stalled);
+
+            // Key data value selection on the constraint graph, with ids
+            // translated back to original program coordinates.
+            let set = self.select(&run, &inst, occurrence);
+            let new_sites: Vec<InstrId> = set
+                .site_ids()
+                .into_iter()
+                .filter(|s| !sites.contains(s))
+                .collect();
+            stats.sites_selected = new_sites.len();
+            stats.recorded_bytes = set.total_cost();
+            stats.new_sites = new_sites.clone();
+            iterations.push(stats);
+            if new_sites.is_empty() {
+                return self.give_up(
+                    GiveUpReason::NothingToRecord,
+                    occurrence,
+                    iterations,
+                    total_symbex,
+                    target,
+                );
+            }
+            sites.extend(new_sites);
+            sites.sort_unstable();
+            sites.dedup();
+        }
+
+        self.give_up(
+            GiveUpReason::OccurrenceLimit,
+            self.config.max_occurrences,
+            iterations,
+            total_symbex,
+            target,
+        )
+    }
+
+    fn select(
+        &self,
+        run: &er_symex::SymRunResult,
+        inst: &InstrumentedProgram,
+        occurrence: u32,
+    ) -> RecordingSet {
+        // Translate origins and counts into original coordinates so sites
+        // accumulate stably across differently instrumented iterations.
+        let mut origins: HashMap<er_solver::ExprRef, InstrId> = HashMap::new();
+        for (&e, &site) in &run.origins {
+            if let Some(o) = inst.to_original(site) {
+                origins.insert(e, o);
+            }
+        }
+        let mut site_counts: HashMap<InstrId, u64> = HashMap::new();
+        for (&site, &count) in &run.site_counts {
+            if let Some(o) = inst.to_original(site) {
+                *site_counts.entry(o).or_insert(0) += count;
+            }
+        }
+        let input = SelectionInput {
+            pool: &run.pool,
+            origins: &origins,
+            site_counts: &site_counts,
+        };
+        let graph = ConstraintGraph::analyze(&run.pool);
+        // The stalled query's subject always joins the element set: the
+        // value whose resolution timed out is by definition worth knowing.
+        let mut elements: Vec<er_solver::ExprRef> =
+            graph.bottleneck.iter().map(|b| b.expr).collect();
+        elements.extend(run.stall_subject);
+        let mut key = select::select_from_elements(&elements, &input);
+        if key.is_empty() {
+            // Stall-site fallback: no write chains to blame, so seed
+            // selection with the symbolic operands of the path constraints.
+            let mut elements: Vec<er_solver::ExprRef> = Vec::new();
+            for &c in &run.path {
+                for child in crate::graph::children(&run.pool, c) {
+                    if run.pool.as_const(child).is_none() {
+                        elements.push(child);
+                    }
+                }
+            }
+            elements.sort_unstable();
+            elements.dedup();
+            key = select::select_from_elements(&elements, &input);
+        }
+        match self.config.selector {
+            SelectorKind::KeyValue => key,
+            SelectorKind::Random { seed } => {
+                // The ablation records the *same amount of data*, chosen
+                // randomly from the graph (paper §5.2); a fresh draw each
+                // occurrence, like re-instrumenting with new random values.
+                select::select_random(
+                    &input,
+                    key.total_cost().max(1),
+                    seed.wrapping_add(u64::from(occurrence).wrapping_mul(0x9e37_79b9)),
+                )
+            }
+        }
+    }
+
+    fn give_up(
+        &self,
+        reason: GiveUpReason,
+        occurrences: u32,
+        iterations: Vec<IterationStats>,
+        total_symbex: Duration,
+        target: Option<Failure>,
+    ) -> ReconstructionReport {
+        ReconstructionReport {
+            outcome: Outcome::GaveUp(reason),
+            occurrences,
+            iterations,
+            total_symbex,
+            target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_minilang::compile;
+    use er_minilang::env::Env;
+
+    fn deploy(src: &str, input_gen: impl Fn(u64) -> Env + 'static) -> Deployment {
+        Deployment::new(compile(src).unwrap(), input_gen)
+    }
+
+    #[test]
+    fn single_occurrence_reproduction() {
+        // Purely control-flow-determined failure: one occurrence suffices.
+        let d = deploy(
+            r#"
+            fn main() {
+                let a: u32 = input_u32(0);
+                if a * 3 == 21 { abort("boom"); }
+                print(a);
+            }
+            "#,
+            |run| {
+                let mut env = Env::new();
+                env.push_input(0, &(run as u32).to_le_bytes());
+                env
+            },
+        );
+        let report = Reconstructor::default().reconstruct(&d);
+        assert!(report.reproduced(), "outcome: {:?}", report.outcome);
+        assert_eq!(report.occurrences, 1);
+        let tc = report.outcome.test_case().unwrap();
+        assert_eq!(tc.inputs[0].1, 7u32.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn iterative_reconstruction_with_stalls() {
+        // A paper-style aliasing bug over a large object: trace-only symbex
+        // stalls under a small budget; recorded key values fix it. Masked
+        // indexing keeps containment provable so the write chain forms.
+        let src = r#"
+            global TBL: [u64; 2048];
+            fn main() {
+                let a: u64 = input_u64(0);
+                let b: u64 = input_u64(0);
+                let i: u64 = a & 2047;
+                let j: u64 = b & 2047;
+                TBL[i] = 41;
+                if TBL[j] == 41 { abort("aliased"); }
+                print(i);
+            }
+        "#;
+        let d = deploy(src, |run| {
+            let mut env = Env::new();
+            // Failures occur when i == j; make that happen every 7th run.
+            let a = run * 13 + 5;
+            let b = if run % 7 == 3 { a } else { a + 1 };
+            env.push_input(0, &a.to_le_bytes());
+            env.push_input(0, &b.to_le_bytes());
+            env
+        });
+        let config = ErConfig {
+            sym: SymConfig {
+                solver_budget: Budget::small(),
+                max_steps: 50_000_000,
+                always_concretize: false,
+            },
+            final_budget: Budget::small(),
+            ..ErConfig::default()
+        };
+        let report = Reconstructor::new(config).reconstruct(&d);
+        assert!(report.reproduced(), "outcome: {:?}", report.outcome);
+        assert!(
+            report.occurrences >= 2,
+            "expected at least one stall iteration, got {}",
+            report.occurrences
+        );
+        assert!(report.iterations[0].stalled.is_some());
+        assert!(report.iterations[0].sites_selected > 0);
+        assert!(report.iterations[0].longest_chain > 0);
+    }
+
+    #[test]
+    fn wrapped_ring_buffer_cannot_be_shepherded() {
+        // The paper sizes the 64 MB ring to the largest trace it collects
+        // (§4); an undersized ring drops the trace prefix and shepherding
+        // correctly refuses to follow the gap rather than mis-replaying.
+        let d = deploy(
+            r#"
+            fn main() {
+                let a: u32 = input_u32(0);
+                let h: u32 = a;
+                for i: u32 = 0; i < 20000; i = i + 1 {
+                    if (h & 1) == 1 { h = h * 3 + 1; } else { h = h / 2 + i; }
+                }
+                if a == 3 { abort("three"); }
+                print(h);
+            }
+            "#,
+            |run| {
+                let mut env = Env::new();
+                env.push_input(0, &(run as u32).to_le_bytes());
+                env
+            },
+        )
+        .with_pt_config(er_pt::sink::PtConfig {
+            ring_bytes: 512, // far too small: the trace wraps
+            ..er_pt::sink::PtConfig::default()
+        });
+        let config = ErConfig {
+            max_occurrences: 3,
+            ..ErConfig::default()
+        };
+        let report = Reconstructor::new(config).reconstruct(&d);
+        assert!(!report.reproduced());
+        // Every iteration sees the gap and is retried until the limit.
+        assert!(report.iterations.iter().all(|it| it
+            .stalled
+            .as_deref()
+            .is_some_and(|s| s.contains("TraceGap"))));
+    }
+
+    #[test]
+    fn tracing_warmup_defers_monitoring() {
+        let d = deploy(
+            r#"
+            fn main() {
+                let a: u32 = input_u32(0);
+                if a % 3 == 1 { abort("mod3"); }
+                print(a);
+            }
+            "#,
+            |run| {
+                let mut env = Env::new();
+                env.push_input(0, &(run as u32).to_le_bytes());
+                env
+            },
+        );
+        let config = ErConfig {
+            tracing_warmup: 2,
+            ..ErConfig::default()
+        };
+        let report = Reconstructor::new(config).reconstruct(&d);
+        assert!(report.reproduced(), "{:?}", report.outcome);
+        // Two untraced observations + one traced reconstruction.
+        assert_eq!(report.occurrences, 3);
+        assert_eq!(
+            report.iterations.len(),
+            1,
+            "only the traced occurrence is analyzed"
+        );
+        // The traced occurrence is the third failing run (runs 1, 4, 7).
+        assert_eq!(report.iterations[0].run_index, 7);
+    }
+
+    #[test]
+    fn gives_up_without_failures() {
+        let d = deploy("fn main() { print(1); }", |_| Env::new());
+        let config = ErConfig {
+            max_runs_per_occurrence: 5,
+            ..ErConfig::default()
+        };
+        let report = Reconstructor::new(config).reconstruct(&d);
+        assert!(matches!(
+            report.outcome,
+            Outcome::GaveUp(GiveUpReason::NoFailureObserved)
+        ));
+    }
+
+    #[test]
+    fn random_selector_can_be_configured() {
+        let d = deploy(
+            r#"
+            fn main() {
+                let a: u32 = input_u32(0);
+                if a == 3 { abort("three"); }
+            }
+            "#,
+            |run| {
+                let mut env = Env::new();
+                env.push_input(0, &(run as u32).to_le_bytes());
+                env
+            },
+        );
+        let config = ErConfig {
+            selector: SelectorKind::Random { seed: 42 },
+            ..ErConfig::default()
+        };
+        // This failure solves on the first trace, so the selector is moot;
+        // the test checks the configuration path.
+        let report = Reconstructor::new(config).reconstruct(&d);
+        assert!(report.reproduced());
+    }
+}

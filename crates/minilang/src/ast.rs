@@ -1,0 +1,340 @@
+//! Abstract syntax tree produced by the parser.
+
+use crate::span::Span;
+use crate::value::Width;
+
+/// A source-level type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// Boolean (stored as one byte when in memory).
+    Bool,
+    /// Unsigned integer of the given width. Pointers are `u64`.
+    Int(Width),
+    /// Fixed-size array of scalars; only valid for globals and `var` locals.
+    Array(Width, u64),
+}
+
+impl Type {
+    /// Scalar width of this type when held in a register; arrays decay to
+    /// their base address (`u64`).
+    pub fn scalar_width(self) -> Width {
+        match self {
+            Type::Bool => Width::W8,
+            Type::Int(w) => w,
+            Type::Array(..) => Width::W64,
+        }
+    }
+
+    /// Size in bytes when stored in memory.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Type::Bool => 1,
+            Type::Int(w) => w.bytes(),
+            Type::Array(w, n) => w.bytes() * n,
+        }
+    }
+}
+
+/// A whole compilation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Unit {
+    /// Global variable declarations, in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+/// `global NAME: TYPE;` or `global NAME: TYPE = INIT;`
+#[derive(Debug, Clone)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional scalar initializer (arrays are zero-initialized).
+    pub init: Option<u64>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters (scalar types only).
+    pub params: Vec<Param>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<Type>,
+    /// Body.
+    pub body: Block,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared (scalar) type.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// `{ stmt* }`
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let NAME: TYPE = EXPR;` — scalar local, mutable.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer.
+        init: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `var NAME: [T; N];` — stack array local, zero-initialized.
+    VarArray {
+        /// Variable name.
+        name: String,
+        /// Element width.
+        elem: Width,
+        /// Element count.
+        len: u64,
+        /// Source location.
+        span: Span,
+    },
+    /// `LVALUE = EXPR;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// New value.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for side effects (typically a call).
+    Expr(Expr),
+    /// `if COND { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Else branch (possibly empty).
+        else_blk: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// `while COND { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// `return;` or `return EXPR;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone)]
+pub enum LValue {
+    /// A scalar local variable.
+    Name(String, Span),
+    /// `ARRAY[INDEX]` where `ARRAY` is a global or `var` local array.
+    Index {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// Binary operators at source level (desugared by lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Unary operators at source level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    BitNot,
+    /// `!`
+    LNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64, Span),
+    /// `true` or `false`.
+    Bool(bool, Span),
+    /// Variable reference.
+    Name(String, Span),
+    /// `ARRAY[INDEX]` read.
+    Index {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `&NAME` — base address of an array (or address of a scalar global).
+    AddrOf(String, Span),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: AstUnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `EXPR as TYPE`.
+    Cast {
+        /// Source expression.
+        expr: Box<Expr>,
+        /// Target type (scalar).
+        ty: Type,
+        /// Source location.
+        span: Span,
+    },
+    /// Function or builtin call. String-literal arguments are only legal for
+    /// `assert`/`abort` and land in `str_arg`.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Value arguments.
+        args: Vec<Expr>,
+        /// Trailing message literal for `assert`/`abort`.
+        str_arg: Option<String>,
+        /// Source location.
+        span: Span,
+    },
+    /// `spawn f(args)` — starts a thread, evaluates to its thread id (u64).
+    Spawn {
+        /// Spawned function name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source location of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s) | Expr::Bool(_, s) | Expr::Name(_, s) | Expr::AddrOf(_, s) => *s,
+            Expr::Index { span, .. }
+            | Expr::Bin { span, .. }
+            | Expr::Un { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Spawn { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::Bool.size_bytes(), 1);
+        assert_eq!(Type::Int(Width::W32).size_bytes(), 4);
+        assert_eq!(Type::Array(Width::W32, 256).size_bytes(), 1024);
+        assert_eq!(Type::Array(Width::W8, 3).scalar_width(), Width::W64);
+    }
+
+    #[test]
+    fn expr_spans_propagate() {
+        let s = Span::new(5, 9, 2);
+        assert_eq!(Expr::Int(1, s).span(), s);
+        let e = Expr::Un {
+            op: AstUnOp::Neg,
+            expr: Box::new(Expr::Int(1, Span::default())),
+            span: s,
+        };
+        assert_eq!(e.span(), s);
+    }
+}

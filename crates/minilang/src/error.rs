@@ -1,0 +1,230 @@
+//! Compile-time and run-time error types.
+
+use crate::ir::{FuncId, InstrId};
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while compiling source text to IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Which compiler stage rejected the input.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the offending construct.
+    pub span: Span,
+}
+
+/// Compiler stage that produced a [`CompileError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking.
+    Type,
+}
+
+impl CompileError {
+    /// Creates an error for `stage` at `span`.
+    pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        CompileError {
+            stage,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Type => "type",
+        };
+        write!(f, "{} error at {}: {}", stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A memory or execution fault raised by the concrete interpreter.
+///
+/// Faults are how "crashes" happen: a latent bug corrupts state and the
+/// corruption later trips one of these, mirroring how the paper's production
+/// failures are fail-stop events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeFault {
+    /// Load or store through an address in the guard page around zero.
+    NullDeref { addr: u64 },
+    /// Load or store to an address no segment maps.
+    Unmapped { addr: u64 },
+    /// Access to a heap object after `free`.
+    UseAfterFree { addr: u64 },
+    /// `free` of an address that is not a live allocation base.
+    InvalidFree { addr: u64 },
+    /// Access past the end of a checked object.
+    OutOfBounds { addr: u64, base: u64, size: u64 },
+    /// Explicit `abort(msg)`.
+    Abort { message: String },
+    /// `assert(cond, msg)` with a false condition.
+    AssertFailed { message: String },
+    /// Division or remainder by zero.
+    DivByZero,
+    /// An `input_*` call on an exhausted stream.
+    InputExhausted { source: u32 },
+    /// `join` on an unknown thread id.
+    BadJoin { tid: u64 },
+    /// Execution exceeded the machine's instruction budget (hang detector).
+    Hang,
+    /// Deadlock: every runnable thread is blocked on a lock or join.
+    Deadlock,
+}
+
+impl fmt::Display for RuntimeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeFault::NullDeref { addr } => write!(f, "null pointer dereference at {addr:#x}"),
+            RuntimeFault::Unmapped { addr } => write!(f, "unmapped access at {addr:#x}"),
+            RuntimeFault::UseAfterFree { addr } => write!(f, "use-after-free at {addr:#x}"),
+            RuntimeFault::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            RuntimeFault::OutOfBounds { addr, base, size } => {
+                write!(
+                    f,
+                    "out-of-bounds access at {addr:#x} (object {base:#x}+{size})"
+                )
+            }
+            RuntimeFault::Abort { message } => write!(f, "abort: {message}"),
+            RuntimeFault::AssertFailed { message } => write!(f, "assertion failed: {message}"),
+            RuntimeFault::DivByZero => write!(f, "division by zero"),
+            RuntimeFault::InputExhausted { source } => {
+                write!(f, "input source {source} exhausted")
+            }
+            RuntimeFault::BadJoin { tid } => write!(f, "join on unknown thread {tid}"),
+            RuntimeFault::Hang => write!(f, "instruction budget exceeded (hang)"),
+            RuntimeFault::Deadlock => write!(f, "deadlock"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeFault {}
+
+/// The broad class of a failure, mirroring Table 1's "Bug Type" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// Null pointer dereference.
+    NullDeref,
+    /// Memory-safety fault other than null deref (OOB, unmapped, UAF).
+    MemoryCorruption,
+    /// Explicit abort.
+    Abort,
+    /// Developer assertion.
+    Assertion,
+    /// Arithmetic fault.
+    Arithmetic,
+    /// Hang or deadlock.
+    Liveness,
+    /// Environment misuse (exhausted input, bad join).
+    Environment,
+}
+
+impl RuntimeFault {
+    /// Classifies this fault into a [`FailureKind`].
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            RuntimeFault::NullDeref { .. } => FailureKind::NullDeref,
+            RuntimeFault::Unmapped { .. }
+            | RuntimeFault::UseAfterFree { .. }
+            | RuntimeFault::InvalidFree { .. }
+            | RuntimeFault::OutOfBounds { .. } => FailureKind::MemoryCorruption,
+            RuntimeFault::Abort { .. } => FailureKind::Abort,
+            RuntimeFault::AssertFailed { .. } => FailureKind::Assertion,
+            RuntimeFault::DivByZero => FailureKind::Arithmetic,
+            RuntimeFault::InputExhausted { .. } | RuntimeFault::BadJoin { .. } => {
+                FailureKind::Environment
+            }
+            RuntimeFault::Hang | RuntimeFault::Deadlock => FailureKind::Liveness,
+        }
+    }
+}
+
+/// The identity of a production failure.
+///
+/// ER's analysis engine "detects the reoccurrence of a failure based on
+/// matching the program counter and the call stack where the failure occurs"
+/// (paper §4); this struct is exactly that identity plus the fault payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The fault that stopped the program.
+    pub fault: RuntimeFault,
+    /// Instruction at which the fault was raised.
+    pub at: InstrId,
+    /// Call stack (outermost first) at the fault, as function ids.
+    pub call_stack: Vec<FuncId>,
+    /// Thread that faulted.
+    pub tid: u64,
+}
+
+impl Failure {
+    /// Two failures reoccur as "the same failure" when the faulting program
+    /// counter, call stack, and fault class all match.
+    pub fn same_failure(&self, other: &Failure) -> bool {
+        self.at == other.at
+            && self.call_stack == other.call_stack
+            && self.fault.kind() == other.fault.kind()
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {:?} on thread {}", self.fault, self.at, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockId, FuncId, InstrId};
+
+    fn at(i: usize) -> InstrId {
+        InstrId {
+            func: FuncId(0),
+            block: BlockId(0),
+            index: i,
+        }
+    }
+
+    #[test]
+    fn failure_identity_matches_pc_and_stack() {
+        let a = Failure {
+            fault: RuntimeFault::NullDeref { addr: 0 },
+            at: at(3),
+            call_stack: vec![FuncId(0), FuncId(2)],
+            tid: 0,
+        };
+        let mut b = a.clone();
+        // Different fault payload, same class and location: same failure.
+        b.fault = RuntimeFault::NullDeref { addr: 8 };
+        assert!(a.same_failure(&b));
+        b.at = at(4);
+        assert!(!a.same_failure(&b));
+    }
+
+    #[test]
+    fn fault_kinds_classify() {
+        assert_eq!(RuntimeFault::DivByZero.kind(), FailureKind::Arithmetic);
+        assert_eq!(
+            RuntimeFault::UseAfterFree { addr: 1 }.kind(),
+            FailureKind::MemoryCorruption
+        );
+        assert_eq!(RuntimeFault::Deadlock.kind(), FailureKind::Liveness);
+    }
+
+    #[test]
+    fn compile_error_display() {
+        let e = CompileError::new(Stage::Parse, "expected `)`", Span::new(0, 1, 3));
+        assert_eq!(e.to_string(), "parse error at line 3: expected `)`");
+    }
+}

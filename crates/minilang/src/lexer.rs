@@ -1,0 +1,424 @@
+//! Tokenizer for the mini systems language.
+
+use crate::error::{CompileError, Stage};
+use crate::span::Span;
+
+/// A lexical token kind. Payload-carrying kinds index into the source via
+/// the token's [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword candidate.
+    Ident,
+    /// Integer literal (decimal or `0x` hex).
+    Int,
+    /// Double-quoted string literal.
+    Str,
+    // Keywords.
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `var`
+    Var,
+    /// `global`
+    Global,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `as`
+    As,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `spawn`
+    Spawn,
+    /// `bool`
+    BoolTy,
+    /// `u8`
+    U8,
+    /// `u16`
+    U16,
+    /// `u32`
+    U32,
+    /// `u64`
+    U64,
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+/// A token: kind plus source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text within `source`.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.span.start..self.span.end]
+    }
+}
+
+fn keyword(text: &str) -> Option<TokenKind> {
+    Some(match text {
+        "fn" => TokenKind::Fn,
+        "let" => TokenKind::Let,
+        "var" => TokenKind::Var,
+        "global" => TokenKind::Global,
+        "if" => TokenKind::If,
+        "else" => TokenKind::Else,
+        "while" => TokenKind::While,
+        "for" => TokenKind::For,
+        "return" => TokenKind::Return,
+        "break" => TokenKind::Break,
+        "continue" => TokenKind::Continue,
+        "as" => TokenKind::As,
+        "true" => TokenKind::True,
+        "false" => TokenKind::False,
+        "spawn" => TokenKind::Spawn,
+        "bool" => TokenKind::BoolTy,
+        "u8" => TokenKind::U8,
+        "u16" => TokenKind::U16,
+        "u32" => TokenKind::U32,
+        "u64" => TokenKind::U64,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unterminated strings or characters outside
+/// the language's alphabet.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $end:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                span: Span::new($start, $end, line),
+            })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(CompileError::new(
+                            Stage::Lex,
+                            "unterminated block comment",
+                            Span::new(start, n, line),
+                        ));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < n && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        return Err(CompileError::new(
+                            Stage::Lex,
+                            "unterminated string literal",
+                            Span::new(start, i, line),
+                        ));
+                    }
+                    i += 1;
+                }
+                if i >= n {
+                    return Err(CompileError::new(
+                        Stage::Lex,
+                        "unterminated string literal",
+                        Span::new(start, n, line),
+                    ));
+                }
+                i += 1; // closing quote
+                push!(TokenKind::Str, start, i);
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && i + 1 < n && (bytes[i + 1] | 0x20) == b'x' {
+                    i += 2;
+                    while i < n && (bytes[i].is_ascii_hexdigit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                push!(TokenKind::Int, start, i);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let kind = keyword(&source[start..i]).unwrap_or(TokenKind::Ident);
+                push!(kind, start, i);
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < n { &source[i..i + 2] } else { "" };
+                let (kind, len) = match two {
+                    "->" => (TokenKind::Arrow, 2),
+                    "<<" => (TokenKind::Shl, 2),
+                    ">>" => (TokenKind::Shr, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    "&&" => (TokenKind::AndAnd, 2),
+                    "||" => (TokenKind::OrOr, 2),
+                    _ => {
+                        let kind = match c {
+                            b'(' => TokenKind::LParen,
+                            b')' => TokenKind::RParen,
+                            b'{' => TokenKind::LBrace,
+                            b'}' => TokenKind::RBrace,
+                            b'[' => TokenKind::LBracket,
+                            b']' => TokenKind::RBracket,
+                            b',' => TokenKind::Comma,
+                            b';' => TokenKind::Semi,
+                            b':' => TokenKind::Colon,
+                            b'=' => TokenKind::Assign,
+                            b'+' => TokenKind::Plus,
+                            b'-' => TokenKind::Minus,
+                            b'*' => TokenKind::Star,
+                            b'/' => TokenKind::Slash,
+                            b'%' => TokenKind::Percent,
+                            b'&' => TokenKind::Amp,
+                            b'|' => TokenKind::Pipe,
+                            b'^' => TokenKind::Caret,
+                            b'~' => TokenKind::Tilde,
+                            b'!' => TokenKind::Bang,
+                            b'<' => TokenKind::Lt,
+                            b'>' => TokenKind::Gt,
+                            other => {
+                                return Err(CompileError::new(
+                                    Stage::Lex,
+                                    format!("unexpected character {:?}", other as char),
+                                    Span::new(start, start + 1, line),
+                                ))
+                            }
+                        };
+                        (kind, 1)
+                    }
+                };
+                i += len;
+                push!(kind, start, i);
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(n, n, line),
+    });
+    Ok(tokens)
+}
+
+/// Parses the text of an [`TokenKind::Int`] token into a value.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the literal overflows `u64`.
+pub fn parse_int(text: &str, span: Span) -> Result<u64, CompileError> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let parsed = if let Some(hex) = cleaned
+        .strip_prefix("0x")
+        .or_else(|| cleaned.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        cleaned.parse::<u64>()
+    };
+    parsed.map_err(|_| CompileError::new(Stage::Lex, format!("bad integer literal `{text}`"), span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_function_header() {
+        assert_eq!(
+            kinds("fn f(a: u32) -> u64 {}"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident,
+                TokenKind::LParen,
+                TokenKind::Ident,
+                TokenKind::Colon,
+                TokenKind::U32,
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::U64,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        assert_eq!(
+            kinds("a <= b << c < d"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Le,
+                TokenKind::Ident,
+                TokenKind::Shl,
+                TokenKind::Ident,
+                TokenKind::Lt,
+                TokenKind::Ident,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = lex("// c1\n/* c2\nc3 */ x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[0].span.line, 3);
+    }
+
+    #[test]
+    fn hex_and_underscored_integers() {
+        assert_eq!(parse_int("0xFF", Span::default()).unwrap(), 255);
+        assert_eq!(parse_int("1_000", Span::default()).unwrap(), 1000);
+        assert!(parse_int("99999999999999999999999", Span::default()).is_err());
+    }
+
+    #[test]
+    fn string_literals() {
+        let src = "\"hello world\"";
+        let toks = lex(src).unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[0].text(src), src);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let err = lex("let x = @;").unwrap_err();
+        assert_eq!(err.stage, Stage::Lex);
+    }
+}

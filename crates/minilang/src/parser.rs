@@ -1,0 +1,677 @@
+//! Recursive-descent parser for the mini systems language.
+
+use crate::ast::*;
+use crate::error::{CompileError, Stage};
+use crate::lexer::{parse_int, Token, TokenKind};
+use crate::span::Span;
+use crate::value::Width;
+
+/// Parses a token stream into a [`Unit`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] at the first syntactic error.
+pub fn parse(tokens: &[Token], source: &str) -> Result<Unit, CompileError> {
+    Parser {
+        tokens,
+        source,
+        pos: 0,
+    }
+    .unit()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    source: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Token {
+        self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> Token {
+        self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos];
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, CompileError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn err(&self, message: String) -> CompileError {
+        CompileError::new(Stage::Parse, message, self.peek().span)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), CompileError> {
+        let t = self.expect(TokenKind::Ident, what)?;
+        Ok((t.text(self.source).to_string(), t.span))
+    }
+
+    fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        while !self.at(TokenKind::Eof) {
+            if self.at(TokenKind::Global) {
+                unit.globals.push(self.global()?);
+            } else if self.at(TokenKind::Fn) {
+                unit.funcs.push(self.func()?);
+            } else {
+                return Err(self.err("expected `global` or `fn` at top level".into()));
+            }
+        }
+        Ok(unit)
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, CompileError> {
+        let start = self.expect(TokenKind::Global, "`global`")?.span;
+        let (name, _) = self.ident("global name")?;
+        self.expect(TokenKind::Colon, "`:`")?;
+        let ty = self.ty()?;
+        let init = if self.eat(TokenKind::Assign) {
+            let t = self.expect(TokenKind::Int, "integer initializer")?;
+            Some(parse_int(t.text(self.source), t.span)?)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi, "`;`")?.span;
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            span: start.merge(end),
+        })
+    }
+
+    fn ty(&mut self) -> Result<Type, CompileError> {
+        if self.eat(TokenKind::LBracket) {
+            let elem = self.scalar_width()?;
+            self.expect(TokenKind::Semi, "`;` in array type")?;
+            let t = self.expect(TokenKind::Int, "array length")?;
+            let len = parse_int(t.text(self.source), t.span)?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            if len == 0 {
+                return Err(self.err("array length must be positive".into()));
+            }
+            return Ok(Type::Array(elem, len));
+        }
+        if self.eat(TokenKind::BoolTy) {
+            return Ok(Type::Bool);
+        }
+        Ok(Type::Int(self.scalar_width()?))
+    }
+
+    fn scalar_width(&mut self) -> Result<Width, CompileError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::U8 => Ok(Width::W8),
+            TokenKind::U16 => Ok(Width::W16),
+            TokenKind::U32 => Ok(Width::W32),
+            TokenKind::U64 => Ok(Width::W64),
+            _ => Err(CompileError::new(
+                Stage::Parse,
+                format!("expected integer type, found {:?}", t.kind),
+                t.span,
+            )),
+        }
+    }
+
+    fn func(&mut self) -> Result<FuncDecl, CompileError> {
+        let start = self.expect(TokenKind::Fn, "`fn`")?.span;
+        let (name, _) = self.ident("function name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        while !self.at(TokenKind::RParen) {
+            let (pname, pspan) = self.ident("parameter name")?;
+            self.expect(TokenKind::Colon, "`:`")?;
+            let ty = self.ty()?;
+            if matches!(ty, Type::Array(..)) {
+                return Err(CompileError::new(
+                    Stage::Parse,
+                    "array parameters are not supported; pass a pointer (`u64`)",
+                    pspan,
+                ));
+            }
+            params.push(Param {
+                name: pname,
+                ty,
+                span: pspan,
+            });
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        let ret = if self.eat(TokenKind::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            span: start,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.at(TokenKind::RBrace) && !self.at(TokenKind::Eof) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace, "`}`")?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().kind {
+            TokenKind::Let => self.let_stmt(),
+            TokenKind::Var => self.var_stmt(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                let span = self.bump().span;
+                let value = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Break => {
+                let span = self.bump().span;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Break(span))
+            }
+            TokenKind::Continue => {
+                let span = self.bump().span;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Continue(span))
+            }
+            _ => self.assign_or_expr_stmt(),
+        }
+    }
+
+    fn let_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let start = self.bump().span; // `let`
+        let (name, _) = self.ident("variable name")?;
+        self.expect(TokenKind::Colon, "`:`")?;
+        let ty = self.ty()?;
+        if matches!(ty, Type::Array(..)) {
+            return Err(self.err("`let` binds scalars; use `var` for arrays".into()));
+        }
+        self.expect(TokenKind::Assign, "`=`")?;
+        let init = self.expr()?;
+        let end = self.expect(TokenKind::Semi, "`;`")?.span;
+        Ok(Stmt::Let {
+            name,
+            ty,
+            init,
+            span: start.merge(end),
+        })
+    }
+
+    fn var_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let start = self.bump().span; // `var`
+        let (name, _) = self.ident("variable name")?;
+        self.expect(TokenKind::Colon, "`:`")?;
+        let ty = self.ty()?;
+        let end = self.expect(TokenKind::Semi, "`;`")?.span;
+        match ty {
+            Type::Array(elem, len) => Ok(Stmt::VarArray {
+                name,
+                elem,
+                len,
+                span: start.merge(end),
+            }),
+            _ => Err(CompileError::new(
+                Stage::Parse,
+                "`var` declares stack arrays; use `let` for scalars",
+                start.merge(end),
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.bump().span; // `if`
+        let cond = self.expr()?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(TokenKind::Else) {
+            if self.at(TokenKind::If) {
+                Block {
+                    stmts: vec![self.if_stmt()?],
+                }
+            } else {
+                self.block()?
+            }
+        } else {
+            Block::default()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            span,
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.bump().span; // `while`
+        let cond = self.expr()?;
+        let body = self.block()?;
+        Ok(Stmt::While { cond, body, span })
+    }
+
+    /// `for NAME: TYPE = START; COND; STEP-ASSIGN { BODY }` sugar for a
+    /// `let` + `while`.
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.bump().span; // `for`
+        let (name, _) = self.ident("loop variable")?;
+        self.expect(TokenKind::Colon, "`:`")?;
+        let ty = self.ty()?;
+        self.expect(TokenKind::Assign, "`=`")?;
+        let init = self.expr()?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        let step_target = self.lvalue()?;
+        self.expect(TokenKind::Assign, "`=`")?;
+        let step_value = self.expr()?;
+        let mut body = self.block()?;
+        body.stmts.push(Stmt::Assign {
+            target: step_target,
+            value: step_value,
+            span,
+        });
+        // Desugars to: { let name = init; while cond { body; step } } by
+        // wrapping in an `If` with constant-true condition to create a scope.
+        let inner = vec![
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                span,
+            },
+            Stmt::While { cond, body, span },
+        ];
+        Ok(Stmt::If {
+            cond: Expr::Bool(true, span),
+            then_blk: Block { stmts: inner },
+            else_blk: Block::default(),
+            span,
+        })
+    }
+
+    fn assign_or_expr_stmt(&mut self) -> Result<Stmt, CompileError> {
+        // Lookahead: IDENT `=` ... or IDENT `[` ... `]` `=` ... is assignment.
+        if self.at(TokenKind::Ident) {
+            if self.peek2().kind == TokenKind::Assign {
+                let target = self.lvalue()?;
+                let span = self.expect(TokenKind::Assign, "`=`")?.span;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                return Ok(Stmt::Assign {
+                    target,
+                    value,
+                    span,
+                });
+            }
+            if self.peek2().kind == TokenKind::LBracket {
+                // Could be `a[i] = ...` or an expression like `a[i] + 1`. Try
+                // assignment by scanning for `] =` with bracket balance.
+                if self.lookahead_index_assign() {
+                    let target = self.lvalue()?;
+                    let span = self.expect(TokenKind::Assign, "`=`")?.span;
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    return Ok(Stmt::Assign {
+                        target,
+                        value,
+                        span,
+                    });
+                }
+            }
+        }
+        let e = self.expr()?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn lookahead_index_assign(&self) -> bool {
+        let mut depth = 0usize;
+        let mut i = self.pos + 1; // at `[`
+        while i < self.tokens.len() {
+            match self.tokens[i].kind {
+                TokenKind::LBracket => depth += 1,
+                TokenKind::RBracket => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1 < self.tokens.len()
+                            && self.tokens[i + 1].kind == TokenKind::Assign;
+                    }
+                }
+                TokenKind::Semi | TokenKind::Eof => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, CompileError> {
+        let (name, span) = self.ident("assignment target")?;
+        if self.eat(TokenKind::LBracket) {
+            let index = self.expr()?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            Ok(LValue::Index {
+                array: name,
+                index: Box::new(index),
+                span,
+            })
+        } else {
+            Ok(LValue::Name(name, span))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek().kind {
+                TokenKind::OrOr => (AstBinOp::LOr, 1),
+                TokenKind::AndAnd => (AstBinOp::LAnd, 2),
+                TokenKind::Pipe => (AstBinOp::BitOr, 3),
+                TokenKind::Caret => (AstBinOp::BitXor, 4),
+                TokenKind::Amp => (AstBinOp::BitAnd, 5),
+                TokenKind::EqEq => (AstBinOp::Eq, 6),
+                TokenKind::Ne => (AstBinOp::Ne, 6),
+                TokenKind::Lt => (AstBinOp::Lt, 7),
+                TokenKind::Le => (AstBinOp::Le, 7),
+                TokenKind::Gt => (AstBinOp::Gt, 7),
+                TokenKind::Ge => (AstBinOp::Ge, 7),
+                TokenKind::Shl => (AstBinOp::Shl, 8),
+                TokenKind::Shr => (AstBinOp::Shr, 8),
+                TokenKind::Plus => (AstBinOp::Add, 9),
+                TokenKind::Minus => (AstBinOp::Sub, 9),
+                TokenKind::Star => (AstBinOp::Mul, 10),
+                TokenKind::Slash => (AstBinOp::Div, 10),
+                TokenKind::Percent => (AstBinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let span = self.bump().span;
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        // Postfix `as TYPE` binds looser than arithmetic here by being
+        // applied after the operator loop at min_prec 0 only.
+        while min_prec == 0 && self.at(TokenKind::As) {
+            let span = self.bump().span;
+            let ty = self.ty()?;
+            lhs = Expr::Cast {
+                expr: Box::new(lhs),
+                ty,
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let t = self.peek();
+        let op = match t.kind {
+            TokenKind::Minus => Some(AstUnOp::Neg),
+            TokenKind::Tilde => Some(AstUnOp::BitNot),
+            TokenKind::Bang => Some(AstUnOp::LNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let span = self.bump().span;
+            let expr = self.unary_expr()?;
+            return Ok(Expr::Un {
+                op,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        if t.kind == TokenKind::Amp {
+            let span = self.bump().span;
+            let (name, _) = self.ident("array name after `&`")?;
+            return Ok(Expr::AddrOf(name, span));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let t = self.peek();
+        match t.kind {
+            TokenKind::Int => {
+                let t = self.bump();
+                Ok(Expr::Int(parse_int(t.text(self.source), t.span)?, t.span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true, t.span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false, t.span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                // Allow casts inside parens: `(x as u64)`.
+                let e = if self.at(TokenKind::As) {
+                    let span = self.bump().span;
+                    let ty = self.ty()?;
+                    Expr::Cast {
+                        expr: Box::new(e),
+                        ty,
+                        span,
+                    }
+                } else {
+                    e
+                };
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Spawn => {
+                let span = self.bump().span;
+                let (callee, _) = self.ident("function name after `spawn`")?;
+                self.expect(TokenKind::LParen, "`(`")?;
+                let args = self.call_args()?;
+                Ok(Expr::Spawn { callee, args, span })
+            }
+            TokenKind::Ident => {
+                let (name, span) = self.ident("expression")?;
+                if self.eat(TokenKind::LParen) {
+                    let (args, str_arg) = self.call_args_with_str()?;
+                    Ok(Expr::Call {
+                        callee: name,
+                        args,
+                        str_arg,
+                        span,
+                    })
+                } else if self.eat(TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(TokenKind::RBracket, "`]`")?;
+                    Ok(Expr::Index {
+                        array: name,
+                        index: Box::new(index),
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Name(name, span))
+                }
+            }
+            _ => Err(self.err(format!("expected expression, found {:?}", t.kind))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        let (args, str_arg) = self.call_args_with_str()?;
+        if str_arg.is_some() {
+            return Err(self.err("string argument not allowed here".into()));
+        }
+        Ok(args)
+    }
+
+    fn call_args_with_str(&mut self) -> Result<(Vec<Expr>, Option<String>), CompileError> {
+        let mut args = Vec::new();
+        let mut str_arg = None;
+        while !self.at(TokenKind::RParen) {
+            if self.at(TokenKind::Str) {
+                let t = self.bump();
+                let text = t.text(self.source);
+                str_arg = Some(text[1..text.len() - 1].to_string());
+            } else {
+                args.push(self.expr()?);
+            }
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok((args, str_arg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        let toks = lex(src).unwrap();
+        parse(&toks, src).unwrap()
+    }
+
+    fn parse_err(src: &str) -> CompileError {
+        let toks = lex(src).unwrap();
+        parse(&toks, src).unwrap_err()
+    }
+
+    #[test]
+    fn parses_globals_and_funcs() {
+        let u = parse_src("global V: [u32; 256];\nglobal n: u32 = 7;\nfn main() { print(n); }");
+        assert_eq!(u.globals.len(), 2);
+        assert_eq!(u.globals[0].ty, Type::Array(Width::W32, 256));
+        assert_eq!(u.globals[1].init, Some(7));
+        assert_eq!(u.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let u = parse_src("fn f() -> u32 { return 1 + 2 * 3 == 7; }");
+        let Stmt::Return { value: Some(e), .. } = &u.funcs[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        let Expr::Bin {
+            op: AstBinOp::Eq, ..
+        } = e
+        else {
+            panic!("== should be outermost, got {e:?}");
+        };
+    }
+
+    #[test]
+    fn parses_index_assignment_vs_expr() {
+        let u = parse_src("global V: [u32; 4];\nfn f(i: u32) { V[i] = V[i] + 1; print(V[i]); }");
+        assert!(matches!(u.funcs[0].body.stmts[0], Stmt::Assign { .. }));
+        assert!(matches!(u.funcs[0].body.stmts[1], Stmt::Expr(_)));
+    }
+
+    #[test]
+    fn parses_if_else_chain_and_while() {
+        let u = parse_src(
+            "fn f(x: u32) { if x == 0 { print(0); } else if x == 1 { print(1); } else { while x > 2 { x = x - 1; } } }",
+        );
+        let Stmt::If { else_blk, .. } = &u.funcs[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(else_blk.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_sugar() {
+        let u = parse_src("fn f() { for i: u32 = 0; i < 10; i = i + 1 { print(i); } }");
+        // for desugars to if(true){ let; while }
+        let Stmt::If { then_blk, .. } = &u.funcs[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(then_blk.stmts[0], Stmt::Let { .. }));
+        assert!(matches!(then_blk.stmts[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_spawn_and_calls() {
+        let u = parse_src(
+            "fn w(a: u32) {}\nfn main() { let t: u64 = spawn w(3); join(t); assert(t == 0, \"first tid\"); }",
+        );
+        assert_eq!(u.funcs[1].body.stmts.len(), 3);
+        let Stmt::Let { init, .. } = &u.funcs[1].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(init, Expr::Spawn { .. }));
+    }
+
+    #[test]
+    fn parses_casts_and_addr_of() {
+        parse_src("global A: [u8; 8];\nfn f(x: u32) { let p: u64 = &A; let y: u64 = x as u64; let z: u64 = (x + 1 as u64); }");
+    }
+
+    #[test]
+    fn rejects_array_params_and_let_arrays() {
+        assert!(parse_err("fn f(a: [u32; 4]) {}").message.contains("array"));
+        assert!(parse_err("fn f() { let a: [u32; 4] = 0; }")
+            .message
+            .contains("var"));
+    }
+
+    #[test]
+    fn rejects_stray_tokens() {
+        let e = parse_err("fn f() { let x: u32 = ; }");
+        assert!(e.message.contains("expected expression"));
+        parse_err("let x: u32 = 3;");
+    }
+}

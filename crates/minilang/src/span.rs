@@ -1,0 +1,55 @@
+//! Source positions used by compiler diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with the 1-based line of its
+/// start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span::new(4, 9, 2);
+        let b = Span::new(1, 6, 1);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end, m.line), (1, 9, 1));
+    }
+
+    #[test]
+    fn display_shows_line() {
+        assert_eq!(Span::new(0, 1, 17).to_string(), "line 17");
+    }
+}

@@ -1,0 +1,1075 @@
+//! Type checker: resolves names, checks widths, and produces a typed AST
+//! consumed by [`crate::lower`].
+
+use crate::ast::*;
+use crate::error::{CompileError, Stage};
+use crate::span::Span;
+use crate::value::Width;
+use std::collections::HashMap;
+
+/// A builtin function recognized by the checker and lowered specially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `input_u8(src)`, ... — consume bytes from a nondeterministic stream.
+    Input(Width),
+    /// `alloc(size) -> u64`.
+    Alloc,
+    /// `free(ptr)`.
+    Free,
+    /// `load8(ptr)`, ...
+    Load(Width),
+    /// `store8(ptr, v)`, ...
+    Store(Width),
+    /// `print(v)`.
+    Print,
+    /// `clock() -> u64`.
+    Clock,
+    /// `join(tid)`.
+    Join,
+    /// `lock(id)`.
+    Lock,
+    /// `unlock(id)`.
+    Unlock,
+    /// `assert(cond, "msg")`.
+    Assert,
+    /// `abort("msg")`.
+    Abort,
+    /// `ptwrite(v)` — explicit trace write.
+    PtWrite,
+}
+
+fn builtin(name: &str) -> Option<Builtin> {
+    Some(match name {
+        "input_u8" => Builtin::Input(Width::W8),
+        "input_u16" => Builtin::Input(Width::W16),
+        "input_u32" => Builtin::Input(Width::W32),
+        "input_u64" => Builtin::Input(Width::W64),
+        "alloc" => Builtin::Alloc,
+        "free" => Builtin::Free,
+        "load8" => Builtin::Load(Width::W8),
+        "load16" => Builtin::Load(Width::W16),
+        "load32" => Builtin::Load(Width::W32),
+        "load64" => Builtin::Load(Width::W64),
+        "store8" => Builtin::Store(Width::W8),
+        "store16" => Builtin::Store(Width::W16),
+        "store32" => Builtin::Store(Width::W32),
+        "store64" => Builtin::Store(Width::W64),
+        "print" => Builtin::Print,
+        "clock" => Builtin::Clock,
+        "join" => Builtin::Join,
+        "lock" => Builtin::Lock,
+        "unlock" => Builtin::Unlock,
+        "assert" => Builtin::Assert,
+        "abort" => Builtin::Abort,
+        "ptwrite" => Builtin::PtWrite,
+        _ => return None,
+    })
+}
+
+/// Slot index of a local variable within its function (parameters first).
+pub type Slot = usize;
+
+/// A resolved local variable.
+#[derive(Debug, Clone)]
+pub struct LocalInfo {
+    /// Source name.
+    pub name: String,
+    /// Declared type (scalars or arrays).
+    pub ty: Type,
+}
+
+/// A resolved callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Callee {
+    /// Index into [`TUnit::funcs`].
+    User(usize),
+    /// A builtin.
+    Builtin(Builtin),
+}
+
+/// A typed expression.
+#[derive(Debug, Clone)]
+pub struct TExpr {
+    /// Static type.
+    pub ty: Type,
+    /// Structure.
+    pub kind: TExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Structure of a typed expression.
+#[derive(Debug, Clone)]
+pub enum TExprKind {
+    /// Constant.
+    Int(u64),
+    /// Local read.
+    Local(Slot),
+    /// Global scalar read.
+    Global(usize),
+    /// Global array element read.
+    IndexGlobal {
+        /// Global index.
+        gid: usize,
+        /// Element index.
+        index: Box<TExpr>,
+    },
+    /// Stack-array element read.
+    IndexLocal {
+        /// Local slot holding the array.
+        slot: Slot,
+        /// Element index.
+        index: Box<TExpr>,
+    },
+    /// Address of a global.
+    AddrGlobal(usize),
+    /// Address of a stack array.
+    AddrLocal(Slot),
+    /// Binary operation (never `LAnd`/`LOr`; those lower to control flow).
+    Bin {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        lhs: Box<TExpr>,
+        /// Right operand.
+        rhs: Box<TExpr>,
+    },
+    /// Short-circuit `&&`/`||`.
+    Logic {
+        /// `true` for `&&`, `false` for `||`.
+        is_and: bool,
+        /// Left operand.
+        lhs: Box<TExpr>,
+        /// Right operand.
+        rhs: Box<TExpr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: AstUnOp,
+        /// Operand.
+        expr: Box<TExpr>,
+    },
+    /// Width change.
+    Cast(Box<TExpr>),
+    /// Call to a user function or builtin.
+    Call {
+        /// Callee.
+        callee: Callee,
+        /// Arguments.
+        args: Vec<TExpr>,
+        /// Message literal for assert/abort.
+        str_arg: Option<String>,
+    },
+    /// Thread spawn.
+    Spawn {
+        /// Index into [`TUnit::funcs`].
+        func: usize,
+        /// Arguments.
+        args: Vec<TExpr>,
+    },
+}
+
+/// A typed assignable location.
+#[derive(Debug, Clone)]
+pub enum TLValue {
+    /// Scalar local.
+    Local(Slot),
+    /// Scalar global.
+    Global(usize),
+    /// Global array element.
+    IndexGlobal {
+        /// Global index.
+        gid: usize,
+        /// Element index.
+        index: TExpr,
+    },
+    /// Stack-array element.
+    IndexLocal {
+        /// Local slot holding the array.
+        slot: Slot,
+        /// Element index.
+        index: TExpr,
+    },
+}
+
+/// A typed statement.
+#[derive(Debug, Clone)]
+pub enum TStmt {
+    /// Initialize local `slot`.
+    Let {
+        /// Destination slot.
+        slot: Slot,
+        /// Initializer.
+        init: TExpr,
+    },
+    /// Bring a stack-array slot into existence (storage allocated at entry).
+    VarArray {
+        /// Array slot.
+        slot: Slot,
+    },
+    /// Assignment.
+    Assign {
+        /// Target.
+        target: TLValue,
+        /// Value.
+        value: TExpr,
+    },
+    /// Expression statement.
+    Expr(TExpr),
+    /// Conditional.
+    If {
+        /// Condition (boolean).
+        cond: TExpr,
+        /// Then branch.
+        then_blk: Vec<TStmt>,
+        /// Else branch.
+        else_blk: Vec<TStmt>,
+    },
+    /// Loop.
+    While {
+        /// Condition (boolean).
+        cond: TExpr,
+        /// Body.
+        body: Vec<TStmt>,
+    },
+    /// Return.
+    Return(Option<TExpr>),
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+}
+
+/// A typed function.
+#[derive(Debug, Clone)]
+pub struct TFunc {
+    /// Name.
+    pub name: String,
+    /// Number of parameters (the first slots of `locals`).
+    pub n_params: usize,
+    /// Return type.
+    pub ret: Option<Type>,
+    /// All locals, parameters first.
+    pub locals: Vec<LocalInfo>,
+    /// Body.
+    pub body: Vec<TStmt>,
+}
+
+/// A fully type-checked unit.
+#[derive(Debug, Clone)]
+pub struct TUnit {
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions in declaration order.
+    pub funcs: Vec<TFunc>,
+    /// Index of `main` in `funcs`.
+    pub entry: usize,
+}
+
+struct FuncSig {
+    params: Vec<Type>,
+    ret: Option<Type>,
+}
+
+struct Checker<'a> {
+    globals: &'a [GlobalDecl],
+    global_idx: HashMap<String, usize>,
+    sigs: Vec<FuncSig>,
+    func_idx: HashMap<String, usize>,
+}
+
+struct FnCtx {
+    locals: Vec<LocalInfo>,
+    /// Stack of scopes; each maps name -> slot.
+    scopes: Vec<HashMap<String, Slot>>,
+    ret: Option<Type>,
+    loop_depth: usize,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<Slot> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) -> Slot {
+        let slot = self.locals.len();
+        self.locals.push(LocalInfo {
+            name: name.to_string(),
+            ty,
+        });
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), slot);
+        slot
+    }
+}
+
+fn err(message: impl Into<String>, span: Span) -> CompileError {
+    CompileError::new(Stage::Type, message, span)
+}
+
+/// Type-checks a parsed [`Unit`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unknown names, width mismatches, bad
+/// builtin arity, a missing `main`, and similar static errors.
+pub fn check(unit: &Unit) -> Result<TUnit, CompileError> {
+    let mut global_idx = HashMap::new();
+    for (i, g) in unit.globals.iter().enumerate() {
+        if global_idx.insert(g.name.clone(), i).is_some() {
+            return Err(err(format!("duplicate global `{}`", g.name), g.span));
+        }
+        if let (Some(v), Type::Int(w)) = (g.init, g.ty) {
+            if v > w.mask() {
+                return Err(err(format!("initializer {v} does not fit in {w}"), g.span));
+            }
+        }
+    }
+    let mut func_idx = HashMap::new();
+    let mut sigs = Vec::new();
+    for (i, f) in unit.funcs.iter().enumerate() {
+        if builtin(&f.name).is_some() {
+            return Err(err(
+                format!("`{}` shadows a builtin function", f.name),
+                f.span,
+            ));
+        }
+        if func_idx.insert(f.name.clone(), i).is_some() {
+            return Err(err(format!("duplicate function `{}`", f.name), f.span));
+        }
+        sigs.push(FuncSig {
+            params: f.params.iter().map(|p| p.ty).collect(),
+            ret: f.ret,
+        });
+    }
+    let entry = *func_idx
+        .get("main")
+        .ok_or_else(|| err("missing `main` function", Span::default()))?;
+    if !unit.funcs[entry].params.is_empty() {
+        return Err(err("`main` takes no parameters", unit.funcs[entry].span));
+    }
+
+    let checker = Checker {
+        globals: &unit.globals,
+        global_idx,
+        sigs,
+        func_idx,
+    };
+    let mut funcs = Vec::new();
+    for f in &unit.funcs {
+        funcs.push(checker.check_func(f)?);
+    }
+    Ok(TUnit {
+        globals: unit.globals.clone(),
+        funcs,
+        entry,
+    })
+}
+
+impl<'a> Checker<'a> {
+    fn check_func(&self, f: &FuncDecl) -> Result<TFunc, CompileError> {
+        let mut ctx = FnCtx {
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            ret: f.ret,
+            loop_depth: 0,
+        };
+        for p in &f.params {
+            if ctx.lookup(&p.name).is_some() {
+                return Err(err(format!("duplicate parameter `{}`", p.name), p.span));
+            }
+            ctx.declare(&p.name, p.ty);
+        }
+        let body = self.check_block(&f.body, &mut ctx)?;
+        Ok(TFunc {
+            name: f.name.clone(),
+            n_params: f.params.len(),
+            ret: f.ret,
+            locals: ctx.locals,
+            body,
+        })
+    }
+
+    fn check_block(&self, b: &Block, ctx: &mut FnCtx) -> Result<Vec<TStmt>, CompileError> {
+        ctx.scopes.push(HashMap::new());
+        let result = b
+            .stmts
+            .iter()
+            .map(|s| self.check_stmt(s, ctx))
+            .collect::<Result<Vec<_>, _>>();
+        ctx.scopes.pop();
+        result
+    }
+
+    fn check_stmt(&self, s: &Stmt, ctx: &mut FnCtx) -> Result<TStmt, CompileError> {
+        match s {
+            Stmt::Let { name, ty, init, .. } => {
+                let init = self.check_expr(init, Some(*ty), ctx)?;
+                let slot = ctx.declare(name, *ty);
+                Ok(TStmt::Let { slot, init })
+            }
+            Stmt::VarArray {
+                name, elem, len, ..
+            } => {
+                let slot = ctx.declare(name, Type::Array(*elem, *len));
+                Ok(TStmt::VarArray { slot })
+            }
+            Stmt::Assign { target, value, .. } => {
+                let (target, target_ty) = self.check_lvalue(target, ctx)?;
+                let value = self.check_expr(value, Some(target_ty), ctx)?;
+                Ok(TStmt::Assign { target, value })
+            }
+            Stmt::Expr(e) => Ok(TStmt::Expr(self.check_expr(e, None, ctx)?)),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                let cond = self.check_bool(cond, ctx)?;
+                let then_blk = self.check_block(then_blk, ctx)?;
+                let else_blk = self.check_block(else_blk, ctx)?;
+                Ok(TStmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                })
+            }
+            Stmt::While { cond, body, .. } => {
+                let cond = self.check_bool(cond, ctx)?;
+                ctx.loop_depth += 1;
+                let body = self.check_block(body, ctx)?;
+                ctx.loop_depth -= 1;
+                Ok(TStmt::While { cond, body })
+            }
+            Stmt::Return { value, span } => match (&ctx.ret.clone(), value) {
+                (None, None) => Ok(TStmt::Return(None)),
+                (None, Some(_)) => Err(err("returning a value from a procedure", *span)),
+                (Some(_), None) => Err(err("missing return value", *span)),
+                (Some(ty), Some(v)) => {
+                    let v = self.check_expr(v, Some(*ty), ctx)?;
+                    Ok(TStmt::Return(Some(v)))
+                }
+            },
+            Stmt::Break(span) => {
+                if ctx.loop_depth == 0 {
+                    return Err(err("`break` outside loop", *span));
+                }
+                Ok(TStmt::Break)
+            }
+            Stmt::Continue(span) => {
+                if ctx.loop_depth == 0 {
+                    return Err(err("`continue` outside loop", *span));
+                }
+                Ok(TStmt::Continue)
+            }
+        }
+    }
+
+    fn check_lvalue(&self, lv: &LValue, ctx: &mut FnCtx) -> Result<(TLValue, Type), CompileError> {
+        match lv {
+            LValue::Name(name, span) => {
+                if let Some(slot) = ctx.lookup(name) {
+                    let ty = ctx.locals[slot].ty;
+                    if matches!(ty, Type::Array(..)) {
+                        return Err(err("cannot assign to an array as a whole", *span));
+                    }
+                    return Ok((TLValue::Local(slot), ty));
+                }
+                if let Some(&gid) = self.global_idx.get(name) {
+                    let ty = self.globals[gid].ty;
+                    if matches!(ty, Type::Array(..)) {
+                        return Err(err("cannot assign to an array as a whole", *span));
+                    }
+                    return Ok((TLValue::Global(gid), ty));
+                }
+                Err(err(format!("unknown variable `{name}`"), *span))
+            }
+            LValue::Index { array, index, span } => {
+                let index_checked = self.check_index(index, ctx)?;
+                if let Some(slot) = ctx.lookup(array) {
+                    let Type::Array(w, _) = ctx.locals[slot].ty else {
+                        return Err(err(format!("`{array}` is not an array"), *span));
+                    };
+                    return Ok((
+                        TLValue::IndexLocal {
+                            slot,
+                            index: index_checked,
+                        },
+                        Type::Int(w),
+                    ));
+                }
+                if let Some(&gid) = self.global_idx.get(array) {
+                    let Type::Array(w, _) = self.globals[gid].ty else {
+                        return Err(err(format!("`{array}` is not an array"), *span));
+                    };
+                    return Ok((
+                        TLValue::IndexGlobal {
+                            gid,
+                            index: index_checked,
+                        },
+                        Type::Int(w),
+                    ));
+                }
+                Err(err(format!("unknown array `{array}`"), *span))
+            }
+        }
+    }
+
+    fn check_index(&self, index: &Expr, ctx: &mut FnCtx) -> Result<TExpr, CompileError> {
+        let idx = self.check_expr(index, None, ctx)?;
+        match idx.ty {
+            Type::Int(_) => Ok(idx),
+            _ => Err(err("array index must be an integer", idx.span)),
+        }
+    }
+
+    fn check_bool(&self, e: &Expr, ctx: &mut FnCtx) -> Result<TExpr, CompileError> {
+        let t = self.check_expr(e, Some(Type::Bool), ctx)?;
+        match t.ty {
+            Type::Bool => Ok(t),
+            _ => Err(err("expected a boolean expression", t.span)),
+        }
+    }
+
+    fn check_expr(
+        &self,
+        e: &Expr,
+        expected: Option<Type>,
+        ctx: &mut FnCtx,
+    ) -> Result<TExpr, CompileError> {
+        let t = self.infer_expr(e, expected, ctx)?;
+        if let Some(exp) = expected {
+            if t.ty != exp {
+                return Err(err(
+                    format!("type mismatch: expected {exp:?}, found {:?}", t.ty),
+                    t.span,
+                ));
+            }
+        }
+        Ok(t)
+    }
+
+    fn infer_expr(
+        &self,
+        e: &Expr,
+        expected: Option<Type>,
+        ctx: &mut FnCtx,
+    ) -> Result<TExpr, CompileError> {
+        let span = e.span();
+        match e {
+            Expr::Int(v, _) => {
+                let ty = match expected {
+                    Some(Type::Int(w)) => {
+                        if *v > w.mask() {
+                            return Err(err(format!("literal {v} does not fit in {w}"), span));
+                        }
+                        Type::Int(w)
+                    }
+                    _ => Type::Int(Width::W64),
+                };
+                Ok(TExpr {
+                    ty,
+                    kind: TExprKind::Int(*v),
+                    span,
+                })
+            }
+            Expr::Bool(b, _) => Ok(TExpr {
+                ty: Type::Bool,
+                kind: TExprKind::Int(u64::from(*b)),
+                span,
+            }),
+            Expr::Name(name, _) => {
+                if let Some(slot) = ctx.lookup(name) {
+                    let ty = ctx.locals[slot].ty;
+                    if matches!(ty, Type::Array(..)) {
+                        // Arrays decay to their base address.
+                        return Ok(TExpr {
+                            ty: Type::Int(Width::W64),
+                            kind: TExprKind::AddrLocal(slot),
+                            span,
+                        });
+                    }
+                    return Ok(TExpr {
+                        ty,
+                        kind: TExprKind::Local(slot),
+                        span,
+                    });
+                }
+                if let Some(&gid) = self.global_idx.get(name) {
+                    let ty = self.globals[gid].ty;
+                    if matches!(ty, Type::Array(..)) {
+                        return Ok(TExpr {
+                            ty: Type::Int(Width::W64),
+                            kind: TExprKind::AddrGlobal(gid),
+                            span,
+                        });
+                    }
+                    return Ok(TExpr {
+                        ty,
+                        kind: TExprKind::Global(gid),
+                        span,
+                    });
+                }
+                Err(err(format!("unknown variable `{name}`"), span))
+            }
+            Expr::Index { array, index, .. } => {
+                let idx = self.check_index(index, ctx)?;
+                if let Some(slot) = ctx.lookup(array) {
+                    let Type::Array(w, _) = ctx.locals[slot].ty else {
+                        return Err(err(format!("`{array}` is not an array"), span));
+                    };
+                    return Ok(TExpr {
+                        ty: Type::Int(w),
+                        kind: TExprKind::IndexLocal {
+                            slot,
+                            index: Box::new(idx),
+                        },
+                        span,
+                    });
+                }
+                if let Some(&gid) = self.global_idx.get(array) {
+                    let Type::Array(w, _) = self.globals[gid].ty else {
+                        return Err(err(format!("`{array}` is not an array"), span));
+                    };
+                    return Ok(TExpr {
+                        ty: Type::Int(w),
+                        kind: TExprKind::IndexGlobal {
+                            gid,
+                            index: Box::new(idx),
+                        },
+                        span,
+                    });
+                }
+                Err(err(format!("unknown array `{array}`"), span))
+            }
+            Expr::AddrOf(name, _) => {
+                if let Some(slot) = ctx.lookup(name) {
+                    return Ok(TExpr {
+                        ty: Type::Int(Width::W64),
+                        kind: TExprKind::AddrLocal(slot),
+                        span,
+                    });
+                }
+                if let Some(&gid) = self.global_idx.get(name) {
+                    return Ok(TExpr {
+                        ty: Type::Int(Width::W64),
+                        kind: TExprKind::AddrGlobal(gid),
+                        span,
+                    });
+                }
+                Err(err(format!("unknown variable `{name}`"), span))
+            }
+            Expr::Bin { op, lhs, rhs, .. } => self.infer_bin(*op, lhs, rhs, expected, span, ctx),
+            Expr::Un { op, expr, .. } => match op {
+                AstUnOp::LNot => {
+                    let inner = self.check_bool(expr, ctx)?;
+                    Ok(TExpr {
+                        ty: Type::Bool,
+                        kind: TExprKind::Un {
+                            op: *op,
+                            expr: Box::new(inner),
+                        },
+                        span,
+                    })
+                }
+                AstUnOp::Neg | AstUnOp::BitNot => {
+                    let inner = self.infer_expr(expr, expected, ctx)?;
+                    let Type::Int(_) = inner.ty else {
+                        return Err(err("unary operator needs an integer", span));
+                    };
+                    Ok(TExpr {
+                        ty: inner.ty,
+                        kind: TExprKind::Un {
+                            op: *op,
+                            expr: Box::new(inner),
+                        },
+                        span,
+                    })
+                }
+            },
+            Expr::Cast { expr, ty, .. } => {
+                let inner = self.infer_expr(expr, None, ctx)?;
+                match (inner.ty, *ty) {
+                    (Type::Int(_) | Type::Bool, Type::Int(_)) => Ok(TExpr {
+                        ty: *ty,
+                        kind: TExprKind::Cast(Box::new(inner)),
+                        span,
+                    }),
+                    _ => Err(err("casts go between integer types", span)),
+                }
+            }
+            Expr::Call {
+                callee,
+                args,
+                str_arg,
+                ..
+            } => self.infer_call(callee, args, str_arg.clone(), span, ctx),
+            Expr::Spawn { callee, args, .. } => {
+                let &fi = self
+                    .func_idx
+                    .get(callee)
+                    .ok_or_else(|| err(format!("unknown function `{callee}`"), span))?;
+                let sig = &self.sigs[fi];
+                if sig.params.len() != args.len() {
+                    return Err(err(
+                        format!(
+                            "`{callee}` takes {} arguments, got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                        span,
+                    ));
+                }
+                let args = args
+                    .iter()
+                    .zip(&sig.params)
+                    .map(|(a, &ty)| self.check_expr(a, Some(ty), ctx))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(TExpr {
+                    ty: Type::Int(Width::W64),
+                    kind: TExprKind::Spawn { func: fi, args },
+                    span,
+                })
+            }
+        }
+    }
+
+    fn infer_bin(
+        &self,
+        op: AstBinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        expected: Option<Type>,
+        span: Span,
+        ctx: &mut FnCtx,
+    ) -> Result<TExpr, CompileError> {
+        use AstBinOp::*;
+        match op {
+            LAnd | LOr => {
+                let l = self.check_bool(lhs, ctx)?;
+                let r = self.check_bool(rhs, ctx)?;
+                Ok(TExpr {
+                    ty: Type::Bool,
+                    kind: TExprKind::Logic {
+                        is_and: op == LAnd,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    span,
+                })
+            }
+            Lt | Le | Gt | Ge | Eq | Ne => {
+                let (l, r) = self.infer_pair(lhs, rhs, None, ctx)?;
+                Ok(TExpr {
+                    ty: Type::Bool,
+                    kind: TExprKind::Bin {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    span,
+                })
+            }
+            _ => {
+                let arith_expected = match expected {
+                    Some(Type::Int(w)) => Some(Type::Int(w)),
+                    _ => None,
+                };
+                let (l, r) = self.infer_pair(lhs, rhs, arith_expected, ctx)?;
+                Ok(TExpr {
+                    ty: l.ty,
+                    kind: TExprKind::Bin {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    span,
+                })
+            }
+        }
+    }
+
+    /// Infers a pair of operands that must agree on an integer type, letting
+    /// a literal on either side adopt the other side's width.
+    fn infer_pair(
+        &self,
+        lhs: &Expr,
+        rhs: &Expr,
+        expected: Option<Type>,
+        ctx: &mut FnCtx,
+    ) -> Result<(TExpr, TExpr), CompileError> {
+        let lhs_is_lit = matches!(lhs, Expr::Int(..));
+        let (l, r) = if lhs_is_lit && !matches!(rhs, Expr::Int(..)) {
+            let r = self.infer_expr(rhs, expected, ctx)?;
+            let l = self.check_expr(lhs, Some(r.ty), ctx)?;
+            (l, r)
+        } else {
+            let l = self.infer_expr(lhs, expected, ctx)?;
+            let r = self.check_expr(rhs, Some(l.ty), ctx)?;
+            (l, r)
+        };
+        match (l.ty, r.ty) {
+            (Type::Int(_), Type::Int(_)) | (Type::Bool, Type::Bool) => Ok((l, r)),
+            _ => Err(err("operands must be integers of the same width", l.span)),
+        }
+    }
+
+    fn infer_call(
+        &self,
+        callee: &str,
+        args: &[Expr],
+        str_arg: Option<String>,
+        span: Span,
+        ctx: &mut FnCtx,
+    ) -> Result<TExpr, CompileError> {
+        if let Some(b) = builtin(callee) {
+            return self.infer_builtin(b, callee, args, str_arg, span, ctx);
+        }
+        let &fi = self
+            .func_idx
+            .get(callee)
+            .ok_or_else(|| err(format!("unknown function `{callee}`"), span))?;
+        if str_arg.is_some() {
+            return Err(err("string arguments only allowed for assert/abort", span));
+        }
+        let sig = &self.sigs[fi];
+        if sig.params.len() != args.len() {
+            return Err(err(
+                format!(
+                    "`{callee}` takes {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        let args = args
+            .iter()
+            .zip(&sig.params)
+            .map(|(a, &ty)| self.check_expr(a, Some(ty), ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ty = sig.ret.unwrap_or(Type::Int(Width::W64));
+        Ok(TExpr {
+            ty,
+            kind: TExprKind::Call {
+                callee: Callee::User(fi),
+                args,
+                str_arg: None,
+            },
+            span,
+        })
+    }
+
+    fn infer_builtin(
+        &self,
+        b: Builtin,
+        name: &str,
+        args: &[Expr],
+        str_arg: Option<String>,
+        span: Span,
+        ctx: &mut FnCtx,
+    ) -> Result<TExpr, CompileError> {
+        let arity_err = |n: usize| err(format!("`{name}` takes {n} argument(s)"), span);
+        let mut checked = Vec::new();
+        let ty = match b {
+            Builtin::Input(w) => {
+                if args.len() != 1 {
+                    return Err(arity_err(1));
+                }
+                checked.push(self.check_expr(&args[0], Some(Type::Int(Width::W32)), ctx)?);
+                Type::Int(w)
+            }
+            Builtin::Alloc => {
+                if args.len() != 1 {
+                    return Err(arity_err(1));
+                }
+                checked.push(self.check_expr(&args[0], Some(Type::Int(Width::W64)), ctx)?);
+                Type::Int(Width::W64)
+            }
+            Builtin::Free | Builtin::Join | Builtin::Lock | Builtin::Unlock => {
+                if args.len() != 1 {
+                    return Err(arity_err(1));
+                }
+                checked.push(self.check_expr(&args[0], Some(Type::Int(Width::W64)), ctx)?);
+                Type::Int(Width::W64) // procedures; value unused
+            }
+            Builtin::Load(w) => {
+                if args.len() != 1 {
+                    return Err(arity_err(1));
+                }
+                checked.push(self.check_expr(&args[0], Some(Type::Int(Width::W64)), ctx)?);
+                Type::Int(w)
+            }
+            Builtin::Store(w) => {
+                if args.len() != 2 {
+                    return Err(arity_err(2));
+                }
+                checked.push(self.check_expr(&args[0], Some(Type::Int(Width::W64)), ctx)?);
+                checked.push(self.check_expr(&args[1], Some(Type::Int(w)), ctx)?);
+                Type::Int(Width::W64)
+            }
+            Builtin::Print | Builtin::PtWrite => {
+                if args.len() != 1 {
+                    return Err(arity_err(1));
+                }
+                let a = self.infer_expr(&args[0], None, ctx)?;
+                if !matches!(a.ty, Type::Int(_) | Type::Bool) {
+                    return Err(err("argument must be scalar", span));
+                }
+                checked.push(a);
+                Type::Int(Width::W64)
+            }
+            Builtin::Clock => {
+                if !args.is_empty() {
+                    return Err(arity_err(0));
+                }
+                Type::Int(Width::W64)
+            }
+            Builtin::Assert => {
+                if args.len() != 1 || str_arg.is_none() {
+                    return Err(err("`assert` takes (condition, \"message\")", span));
+                }
+                checked.push(self.check_bool(&args[0], ctx)?);
+                Type::Int(Width::W64)
+            }
+            Builtin::Abort => {
+                if !args.is_empty() || str_arg.is_none() {
+                    return Err(err("`abort` takes (\"message\")", span));
+                }
+                Type::Int(Width::W64)
+            }
+        };
+        Ok(TExpr {
+            ty,
+            kind: TExprKind::Call {
+                callee: Callee::Builtin(b),
+                args: checked,
+                str_arg,
+            },
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<TUnit, CompileError> {
+        let toks = lex(src).unwrap();
+        check(&parse(&toks, src).unwrap())
+    }
+
+    #[test]
+    fn accepts_paper_example_shape() {
+        let t = check_src(
+            r#"
+            global V: [u32; 256];
+            fn foo(a: u32, b: u32, c: u32, d: u32) {
+                let x: u32 = a + b;
+                if x < 256 && c < 256 && d < 256 {
+                    V[x] = 1;
+                    if V[c] == 0 { V[c] = 512; }
+                    V[V[x]] = x;
+                    if c < d { if V[V[d]] == x { abort("boom"); } }
+                }
+            }
+            fn main() { foo(0, 2, 0, 2); }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(t.funcs.len(), 2);
+        assert_eq!(t.funcs[0].n_params, 4);
+        assert_eq!(t.entry, 1);
+    }
+
+    #[test]
+    fn literal_adopts_expected_width() {
+        let t = check_src("fn main() { let x: u8 = 200; let y: u8 = x + 1; }").unwrap();
+        let TStmt::Let { init, .. } = &t.funcs[0].body[1] else {
+            panic!()
+        };
+        assert_eq!(init.ty, Type::Int(Width::W8));
+    }
+
+    #[test]
+    fn literal_overflow_rejected() {
+        let e = check_src("fn main() { let x: u8 = 256; }").unwrap_err();
+        assert!(e.message.contains("fit"));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let e = check_src("fn main() { let x: u8 = 1; let y: u32 = 2; let z: u32 = x + y; }")
+            .unwrap_err();
+        assert!(e.message.contains("mismatch"));
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        let e = check_src("fn main() { let x: u32 = 1; if x { print(x); } }").unwrap_err();
+        assert!(e.message.contains("mismatch") || e.message.contains("boolean"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = check_src("fn main() { break; }").unwrap_err();
+        assert!(e.message.contains("break"));
+    }
+
+    #[test]
+    fn main_required() {
+        let e = check_src("fn helper() {}").unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn shadowing_in_nested_blocks() {
+        let t = check_src(
+            "fn main() { let x: u32 = 1; if x == 1 { let x: u64 = 2; print(x); } print(x); }",
+        )
+        .unwrap();
+        // Two distinct slots named x.
+        assert_eq!(
+            t.funcs[0].locals.iter().filter(|l| l.name == "x").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        assert!(check_src("fn main() { let v: u8 = load8(); }").is_err());
+        assert!(check_src("fn main() { assert(true); }").is_err());
+        assert!(check_src("fn main() { abort(); }").is_err());
+    }
+
+    #[test]
+    fn user_call_types_checked() {
+        let e = check_src("fn f(a: u32) -> u32 { return a; }\nfn main() { let x: u64 = 1; f(x); }")
+            .unwrap_err();
+        assert!(e.message.contains("mismatch"));
+    }
+
+    #[test]
+    fn spawn_returns_tid() {
+        let t =
+            check_src("fn w(a: u32) {}\nfn main() { let t: u64 = spawn w(1); join(t); }").unwrap();
+        let TStmt::Let { init, .. } = &t.funcs[1].body[0] else {
+            panic!()
+        };
+        assert_eq!(init.ty, Type::Int(Width::W64));
+    }
+
+    #[test]
+    fn array_decays_to_address() {
+        let t = check_src("global A: [u8; 4];\nfn main() { let p: u64 = A; let q: u64 = &A; }")
+            .unwrap();
+        assert_eq!(t.funcs[0].body.len(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Packet types modeled after Intel PT.
+
+use serde::{Deserialize, Serialize};
+
+/// One trace packet. The inventory mirrors the Intel PT packets ER relies
+/// on; payloads are simplified (e.g. TIP carries a function id rather than a
+/// compressed virtual address) but the information content is the same.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Packet {
+    /// Packet stream boundary: a synchronization point the decoder can
+    /// resume from after an overflow or ring-buffer wrap.
+    Psb,
+    /// Internal buffer overflow: packets were lost before this point.
+    Ovf,
+    /// Taken/not-taken bits for up to 255 conditional branches, oldest
+    /// first.
+    Tnt {
+        /// Number of valid bits.
+        count: u8,
+        /// Bit `i` (LSB-first across bytes) is branch `i`'s outcome.
+        bits: Vec<u8>,
+    },
+    /// Target of a transfer the TNT stream cannot encode (here: a direct
+    /// call's target function).
+    Tip {
+        /// Target function id.
+        target: u32,
+    },
+    /// A function return (PT compresses most returns to single bits; we
+    /// model them as a dedicated packet).
+    Ret,
+    /// A `ptwrite` payload.
+    Ptw {
+        /// The recorded 64-bit value.
+        value: u64,
+    },
+    /// A timestamp.
+    Tsc {
+        /// Virtual time (the machine's global instruction counter).
+        tsc: u64,
+    },
+    /// Trace resumed for a software thread (models PGE plus the PIP/VMCS
+    /// context PT uses to attribute trace to a context).
+    Pge {
+        /// Thread id now executing.
+        tid: u64,
+    },
+}
+
+impl Packet {
+    /// Encoded size in bytes under [`crate::codec`].
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Packet::Psb | Packet::Ovf | Packet::Ret => 1,
+            Packet::Tnt { bits, .. } => 2 + bits.len(),
+            Packet::Tip { .. } => 5,
+            Packet::Ptw { .. } | Packet::Tsc { .. } | Packet::Pge { .. } => 9,
+        }
+    }
+}
+
+/// A fully decoded, flattened trace event — what the offline analysis
+/// engine consumes after unpacking TNT bit runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Conditional branch outcome.
+    Branch(bool),
+    /// Direct call to a function id.
+    Call(u32),
+    /// Function return.
+    Ret,
+    /// `ptwrite` payload.
+    PtWrite(u64),
+    /// Timestamp.
+    Timestamp(u64),
+    /// Thread `tid` resumed.
+    ThreadResume(u64),
+    /// Packets were lost here (overflow or wrap); downstream analyses must
+    /// treat the trace prefix as missing.
+    Gap,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_len_matches_shape() {
+        assert_eq!(Packet::Psb.encoded_len(), 1);
+        assert_eq!(Packet::Tip { target: 3 }.encoded_len(), 5);
+        assert_eq!(Packet::Ptw { value: 1 }.encoded_len(), 9);
+        assert_eq!(
+            Packet::Tnt {
+                count: 10,
+                bits: vec![0xff, 0x03]
+            }
+            .encoded_len(),
+            4
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! The online tracing sink: packetizes interpreter events PT-style.
+
+use crate::codec::{self, DecodeError};
+use crate::packet::{Packet, TraceEvent};
+use crate::ring::RingBuffer;
+use er_minilang::env::InputEvent;
+use er_minilang::ir::FuncId;
+use er_minilang::trace::TraceSink;
+
+/// Configuration for [`PtSink`].
+#[derive(Debug, Clone, Copy)]
+pub struct PtConfig {
+    /// Ring buffer capacity in bytes (the paper uses 64 MB).
+    pub ring_bytes: usize,
+    /// Emit a PSB sync packet every this many packets.
+    pub psb_period: u32,
+    /// Emit TSC packets on thread resume (needed for multi-threaded
+    /// reconstruction; harmless otherwise).
+    pub timestamps: bool,
+}
+
+impl Default for PtConfig {
+    fn default() -> Self {
+        PtConfig {
+            ring_bytes: 64 << 20,
+            psb_period: 4096,
+            timestamps: true,
+        }
+    }
+}
+
+/// Counters describing what a run's tracing cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PtStats {
+    /// Conditional branches traced.
+    pub branches: u64,
+    /// Calls traced.
+    pub calls: u64,
+    /// Returns traced.
+    pub rets: u64,
+    /// `ptwrite` payloads traced.
+    pub ptwrites: u64,
+    /// Thread resumes traced.
+    pub resumes: u64,
+    /// Packets emitted.
+    pub packets: u64,
+    /// Bytes emitted (before any ring-buffer overwrite).
+    pub bytes: u64,
+}
+
+/// An online PT encoder implementing the interpreter's [`TraceSink`].
+///
+/// Branch outcomes accumulate into TNT packets (~1 bit per branch); other
+/// events flush the pending TNT run first so that event order survives the
+/// round trip.
+#[derive(Debug)]
+pub struct PtSink {
+    ring: RingBuffer,
+    config: PtConfig,
+    tnt_acc: u64,
+    tnt_count: u32,
+    packets_since_psb: u32,
+    stats: PtStats,
+    scratch: Vec<u8>,
+}
+
+impl PtSink {
+    /// A sink with the given configuration; writes an initial PSB.
+    pub fn new(config: PtConfig) -> Self {
+        let mut s = PtSink {
+            ring: RingBuffer::new(config.ring_bytes),
+            config,
+            tnt_acc: 0,
+            tnt_count: 0,
+            packets_since_psb: 0,
+            stats: PtStats::default(),
+            scratch: Vec::with_capacity(16),
+        };
+        s.emit(&Packet::Psb);
+        s
+    }
+
+    fn emit(&mut self, p: &Packet) {
+        self.scratch.clear();
+        codec::encode_into(p, &mut self.scratch);
+        self.ring.write(&self.scratch);
+        self.stats.packets += 1;
+        self.stats.bytes += self.scratch.len() as u64;
+        self.bump_psb();
+    }
+
+    fn bump_psb(&mut self) {
+        self.packets_since_psb += 1;
+        if self.packets_since_psb >= self.config.psb_period {
+            self.packets_since_psb = 0;
+            self.scratch.clear();
+            codec::encode_into(&Packet::Psb, &mut self.scratch);
+            self.ring.write(&self.scratch);
+            self.stats.packets += 1;
+            self.stats.bytes += 1;
+        }
+    }
+
+    fn flush_tnt(&mut self) {
+        if self.tnt_count == 0 {
+            return;
+        }
+        // Encode the TNT packet inline (opcode, count, bit bytes) to keep
+        // the per-64-branches cost allocation-free.
+        let count = self.tnt_count as u8;
+        let nb = (self.tnt_count as usize).div_ceil(8);
+        self.scratch.clear();
+        self.scratch.push(0xA2);
+        self.scratch.push(count);
+        self.scratch
+            .extend_from_slice(&self.tnt_acc.to_le_bytes()[..nb]);
+        self.tnt_acc = 0;
+        self.tnt_count = 0;
+        self.ring.write(&self.scratch);
+        self.stats.packets += 1;
+        self.stats.bytes += self.scratch.len() as u64;
+        self.bump_psb();
+    }
+
+    /// Finalizes the trace: flushes pending TNT bits and snapshots the ring.
+    pub fn finish(mut self) -> PtTrace {
+        self.flush_tnt();
+        PtTrace {
+            wrapped: self.ring.wrapped(),
+            bytes: self.ring.snapshot(),
+            stats: self.stats,
+        }
+    }
+
+    /// Tracing counters so far.
+    pub fn stats(&self) -> PtStats {
+        self.stats
+    }
+}
+
+impl TraceSink for PtSink {
+    #[inline]
+    fn cond_branch(&mut self, taken: bool) {
+        self.stats.branches += 1;
+        self.tnt_acc |= u64::from(taken) << self.tnt_count;
+        self.tnt_count += 1;
+        if self.tnt_count == 64 {
+            self.flush_tnt();
+        }
+    }
+
+    fn call(&mut self, func: FuncId) {
+        self.stats.calls += 1;
+        self.flush_tnt();
+        self.emit(&Packet::Tip { target: func.0 });
+    }
+
+    fn ret(&mut self) {
+        self.stats.rets += 1;
+        self.flush_tnt();
+        self.emit(&Packet::Ret);
+    }
+
+    fn ptwrite(&mut self, value: u64) {
+        self.stats.ptwrites += 1;
+        self.flush_tnt();
+        self.emit(&Packet::Ptw { value });
+    }
+
+    fn thread_resume(&mut self, tid: u64, tsc: u64) {
+        self.stats.resumes += 1;
+        self.flush_tnt();
+        self.emit(&Packet::Pge { tid });
+        if self.config.timestamps {
+            self.emit(&Packet::Tsc { tsc });
+        }
+    }
+
+    #[inline]
+    fn input(&mut self, _event: &InputEvent) {
+        // Intel PT does not observe inputs; nothing to record.
+    }
+}
+
+/// A finalized trace: the ring-buffer contents plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PtTrace {
+    /// Raw encoded bytes, oldest first.
+    pub bytes: Vec<u8>,
+    /// Whether the ring wrapped (oldest packets lost).
+    pub wrapped: bool,
+    /// Online tracing counters.
+    pub stats: PtStats,
+}
+
+impl PtTrace {
+    /// Decodes the byte stream into flattened [`TraceEvent`]s,
+    /// resynchronizing at a PSB if the ring wrapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stream is corrupt or a wrapped
+    /// stream contains no sync point.
+    pub fn decode(&self) -> Result<DecodedTrace, DecodeError> {
+        let (packets, gap) = if self.wrapped {
+            let at = codec::resync(&self.bytes, 0).ok_or(DecodeError::NoSyncPoint)?;
+            (codec::decode_from(&self.bytes, at)?, true)
+        } else {
+            (codec::decode(&self.bytes)?, false)
+        };
+        let mut events = Vec::with_capacity(packets.len());
+        if gap {
+            events.push(TraceEvent::Gap);
+        }
+        for p in &packets {
+            match p {
+                Packet::Psb => {}
+                Packet::Ovf => events.push(TraceEvent::Gap),
+                Packet::Tnt { count, bits } => {
+                    for i in 0..*count as usize {
+                        let bit = bits[i / 8] >> (i % 8) & 1;
+                        events.push(TraceEvent::Branch(bit == 1));
+                    }
+                }
+                Packet::Tip { target } => events.push(TraceEvent::Call(*target)),
+                Packet::Ret => events.push(TraceEvent::Ret),
+                Packet::Ptw { value } => events.push(TraceEvent::PtWrite(*value)),
+                Packet::Tsc { tsc } => events.push(TraceEvent::Timestamp(*tsc)),
+                Packet::Pge { tid } => events.push(TraceEvent::ThreadResume(*tid)),
+            }
+        }
+        Ok(DecodedTrace { events })
+    }
+}
+
+/// A decoded trace ready for offline analysis.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedTrace {
+    /// Flattened events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl DecodedTrace {
+    /// Number of conditional-branch events.
+    pub fn branch_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Branch(_)))
+            .count()
+    }
+
+    /// All branch outcomes in order.
+    pub fn branches(&self) -> Vec<bool> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Branch(b) => Some(*b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All `ptwrite` payloads in order.
+    pub fn ptwrites(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PtWrite(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any packets were lost.
+    pub fn has_gap(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, TraceEvent::Gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ring: usize) -> PtSink {
+        PtSink::new(PtConfig {
+            ring_bytes: ring,
+            psb_period: 64,
+            timestamps: true,
+        })
+    }
+
+    #[test]
+    fn branches_round_trip_in_order() {
+        let mut s = tiny(1 << 16);
+        let pattern: Vec<bool> = (0..300).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            s.cond_branch(b);
+        }
+        let t = s.finish();
+        let d = t.decode().unwrap();
+        assert_eq!(d.branches(), pattern);
+        assert!(!d.has_gap());
+    }
+
+    #[test]
+    fn mixed_events_preserve_order() {
+        let mut s = tiny(1 << 16);
+        s.cond_branch(true);
+        s.call(FuncId(5));
+        s.cond_branch(false);
+        s.ptwrite(99);
+        s.ret();
+        let d = s.finish().decode().unwrap();
+        let evs: Vec<_> = d.events;
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::Branch(true),
+                TraceEvent::Call(5),
+                TraceEvent::Branch(false),
+                TraceEvent::PtWrite(99),
+                TraceEvent::Ret,
+            ]
+        );
+    }
+
+    #[test]
+    fn thread_resume_emits_pge_and_tsc() {
+        let mut s = tiny(1 << 16);
+        s.thread_resume(2, 777);
+        let d = s.finish().decode().unwrap();
+        assert_eq!(
+            d.events,
+            vec![TraceEvent::ThreadResume(2), TraceEvent::Timestamp(777)]
+        );
+    }
+
+    #[test]
+    fn branch_cost_is_about_one_bit() {
+        let mut s = tiny(1 << 20);
+        for i in 0..100_000u32 {
+            s.cond_branch(i % 2 == 0);
+        }
+        let t = s.finish();
+        // 100k branches in well under 2 bytes/branch-byte budget: expect
+        // ~12.5 KB of TNT payload plus small header overhead.
+        assert!(
+            t.stats.bytes < 16_000,
+            "branch bytes too high: {}",
+            t.stats.bytes
+        );
+        assert_eq!(t.stats.branches, 100_000);
+    }
+
+    #[test]
+    fn wrap_resyncs_at_psb_and_reports_gap() {
+        let mut s = PtSink::new(PtConfig {
+            ring_bytes: 256,
+            psb_period: 8,
+            timestamps: false,
+        });
+        for i in 0..2_000u64 {
+            s.ptwrite(i);
+        }
+        let t = s.finish();
+        assert!(t.wrapped);
+        let d = t.decode().unwrap();
+        assert!(d.has_gap());
+        // Newest ptwrites must survive.
+        let ptws = d.ptwrites();
+        assert_eq!(*ptws.last().unwrap(), 1_999);
+        assert!(ptws.len() >= 8);
+        // And they are consecutive (suffix of the original stream).
+        for w in ptws.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut s = tiny(1 << 16);
+        s.cond_branch(true);
+        s.call(FuncId(1));
+        s.ret();
+        s.ptwrite(3);
+        s.thread_resume(0, 1);
+        let st = s.stats();
+        assert_eq!(st.branches, 1);
+        assert_eq!(st.calls, 1);
+        assert_eq!(st.rets, 1);
+        assert_eq!(st.ptwrites, 1);
+        assert_eq!(st.resumes, 1);
+    }
+}
+
+/// Drops a deterministic pseudo-random fraction of branch events from a
+/// decoded trace — a model of the paper's x86→LLVM mapping loss (§4: only
+/// 91.5% of control-flow events mapped back to LLVM IR). Shepherded
+/// execution requires a complete trace, so ER's prototype traces inside
+/// KLEE instead; this adapter exists to *measure* that design pressure.
+pub fn drop_branches(trace: &DecodedTrace, drop_per_mille: u32, seed: u64) -> DecodedTrace {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let events = trace
+        .events
+        .iter()
+        .filter(|e| {
+            !(matches!(e, TraceEvent::Branch(_)) && next() % 1000 < u64::from(drop_per_mille))
+        })
+        .copied()
+        .collect();
+    DecodedTrace { events }
+}
+
+#[cfg(test)]
+mod lossy_tests {
+    use super::*;
+
+    #[test]
+    fn drop_branches_removes_roughly_the_requested_fraction() {
+        let trace = DecodedTrace {
+            events: (0..10_000)
+                .map(|i| TraceEvent::Branch(i % 2 == 0))
+                .collect(),
+        };
+        let lossy = drop_branches(&trace, 85, 42);
+        let kept = lossy.branch_count() as f64 / 10_000.0;
+        assert!((0.88..0.95).contains(&kept), "kept {kept}");
+        // Non-branch events are never dropped.
+        let trace2 = DecodedTrace {
+            events: vec![TraceEvent::Ret, TraceEvent::PtWrite(1)],
+        };
+        assert_eq!(drop_branches(&trace2, 999, 1).events.len(), 2);
+        // Deterministic per seed.
+        assert_eq!(
+            drop_branches(&trace, 85, 7).events,
+            drop_branches(&trace, 85, 7).events
+        );
+    }
+}

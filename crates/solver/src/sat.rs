@@ -1,0 +1,661 @@
+//! A CDCL SAT solver: two-watched literals, VSIDS decisions, phase saving,
+//! first-UIP clause learning, and Luby restarts.
+//!
+//! The solver runs under a deterministic *conflict budget*; exhausting it
+//! returns [`SatOutcome::Unknown`], which the ER layer interprets as a
+//! solver stall (the paper's 30-second timeout, made reproducible).
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Result of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable, with a full assignment indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted before an answer — a stall.
+    Unknown,
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned.
+    pub learned: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    Undef,
+    True,
+    False,
+}
+
+/// A binary max-heap over variables ordered by VSIDS activity.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<i32>, // position in heap, -1 if absent
+}
+
+impl VarHeap {
+    fn new(n: usize) -> Self {
+        VarHeap {
+            heap: (0..n as u32).map(Var).collect(),
+            pos: (0..n as i32).collect(),
+        }
+    }
+
+    fn less(activity: &[f64], a: Var, b: Var) -> bool {
+        activity[a.0 as usize] > activity[b.0 as usize]
+    }
+
+    fn sift_up(&mut self, activity: &[f64], mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(activity, self.heap[i], self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, activity: &[f64], mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && Self::less(activity, self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && Self::less(activity, self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].0 as usize] = i as i32;
+        self.pos[self.heap[j].0 as usize] = j as i32;
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.swap(0, last);
+        self.heap.pop();
+        self.pos[top.0 as usize] = -1;
+        if !self.heap.is_empty() {
+            self.sift_down(activity, 0);
+        }
+        Some(top)
+    }
+
+    fn insert(&mut self, activity: &[f64], v: Var) {
+        if self.pos[v.0 as usize] >= 0 {
+            return;
+        }
+        self.pos[v.0 as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        let at = self.heap.len() - 1;
+        self.sift_up(activity, at);
+    }
+
+    fn update(&mut self, activity: &[f64], v: Var) {
+        let p = self.pos[v.0 as usize];
+        if p >= 0 {
+            self.sift_up(activity, p as usize);
+        }
+    }
+}
+
+/// The CDCL solver.
+#[derive(Debug)]
+pub struct SatSolver {
+    n_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<u32>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<i32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SatStats,
+}
+
+impl SatSolver {
+    /// Loads `cnf` into a fresh solver.
+    pub fn new(cnf: &Cnf) -> Self {
+        let n = cnf.var_count() as usize;
+        let mut s = SatSolver {
+            n_vars: n,
+            clauses: Vec::with_capacity(cnf.clause_count()),
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![LBool::Undef; n],
+            level: vec![0; n],
+            reason: vec![-1; n],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            heap: VarHeap::new(n),
+            phase: vec![false; n],
+            seen: vec![false; n],
+            ok: true,
+            stats: SatStats::default(),
+        };
+        for clause in &cnf.clauses {
+            s.add_clause(clause);
+            if !s.ok {
+                break;
+            }
+        }
+        s
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        match self.assign[l.var().0 as usize] {
+            LBool::Undef => LBool::Undef,
+            assigned => {
+                let var_is_true = assigned == LBool::True;
+                if var_is_true == l.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        // Normalize: drop duplicates and satisfied-at-level-0 literals.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (i, &l) in sorted.iter().enumerate() {
+            if i + 1 < sorted.len() && sorted[i + 1] == !l {
+                return; // tautology: l and !l both present
+            }
+            match self.value(l) {
+                LBool::True => return, // already satisfied at level 0
+                LBool::False if self.level[l.var().0 as usize] == 0 => {}
+                _ => c.push(l),
+            }
+        }
+        match c.len() {
+            0 => self.ok = false,
+            1 => {
+                // Unit clause: assert at level 0 and propagate immediately.
+                self.ok &= self.enqueue(c[0], -1) && self.propagate().is_none();
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[(!c[0]).index()].push(idx);
+                self.watches[(!c[1]).index()].push(idx);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: i32) -> bool {
+        match self.value(l) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = l.var().0 as usize;
+                self.assign[v] = if l.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                };
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.phase[v] = l.is_pos();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the conflicting clause index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching !p (p just became true, so !p became false).
+            let mut i = 0;
+            let watch_idx = p.index();
+            'clauses: while i < self.watches[watch_idx].len() {
+                let ci = self.watches[watch_idx][i];
+                let assign = &self.assign;
+                let value_of = |l: Lit| match assign[l.var().0 as usize] {
+                    LBool::Undef => LBool::Undef,
+                    LBool::True => {
+                        if l.is_pos() {
+                            LBool::True
+                        } else {
+                            LBool::False
+                        }
+                    }
+                    LBool::False => {
+                        if l.is_pos() {
+                            LBool::False
+                        } else {
+                            LBool::True
+                        }
+                    }
+                };
+                let clause = &mut self.clauses[ci as usize];
+                // Ensure the false literal is at position 1.
+                let false_lit = !p;
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit);
+                let first = clause[0];
+                if value_of(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                for k in 2..clause.len() {
+                    if value_of(clause[k]) != LBool::False {
+                        clause.swap(1, k);
+                        let new_watch = !clause[1];
+                        self.watches[watch_idx].swap_remove(i);
+                        self.watches[new_watch.index()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(first, ci as i32) {
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for x in &mut self.activity {
+                *x *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(&self.activity, v);
+    }
+
+    /// First-UIP conflict analysis; returns (learned clause, backjump level).
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // slot 0 for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut clause_idx = conflict as i32;
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            debug_assert!(clause_idx >= 0, "reason must exist during analysis");
+            let clause = self.clauses[clause_idx as usize].clone();
+            let start = usize::from(p.is_some());
+            for &q in &clause[start..] {
+                let v = q.var();
+                let vi = v.0 as usize;
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    self.bump(v);
+                    if self.level[vi] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next trail literal to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().0 as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().0 as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            clause_idx = self.reason[lit.var().0 as usize];
+        }
+        learned[0] = !p.expect("UIP found");
+        for &l in &learned[1..] {
+            self.seen[l.var().0 as usize] = false;
+        }
+        let backjump = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        // Put a highest-backjump-level literal at slot 1 for watching.
+        if learned.len() > 1 {
+            let (mi, _) = learned[1..]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| self.level[l.var().0 as usize])
+                .expect("nonempty");
+            learned.swap(1, mi + 1);
+        }
+        (learned, backjump)
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        if (self.trail_lim.len() as u32) <= to_level {
+            return;
+        }
+        let bound = self.trail_lim[to_level as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail nonempty");
+            let v = l.var().0 as usize;
+            self.assign[v] = LBool::Undef;
+            self.reason[v] = -1;
+            self.heap.insert(&self.activity, l.var());
+        }
+        self.trail_lim.truncate(to_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v.0 as usize] == LBool::Undef {
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = Lit::new(v, self.phase[v.0 as usize]);
+                let ok = self.enqueue(lit, -1);
+                debug_assert!(ok);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs the search with at most `max_conflicts` conflicts.
+    pub fn solve(&mut self, max_conflicts: u64) -> SatOutcome {
+        if !self.ok {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SatOutcome::Unsat;
+        }
+        let mut restart_idx = 0u32;
+        let mut conflicts_until_restart = luby(restart_idx) * 128;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.stats.conflicts > max_conflicts {
+                    return SatOutcome::Unknown;
+                }
+                if self.trail_lim.is_empty() {
+                    return SatOutcome::Unsat;
+                }
+                let (learned, backjump) = self.analyze(conflict);
+                self.backtrack(backjump);
+                self.stats.learned += 1;
+                if learned.len() == 1 {
+                    if !self.enqueue(learned[0], -1) {
+                        return SatOutcome::Unsat;
+                    }
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[(!learned[0]).index()].push(idx);
+                    self.watches[(!learned[1]).index()].push(idx);
+                    let asserting = learned[0];
+                    self.clauses.push(learned);
+                    let ok = self.enqueue(asserting, idx as i32);
+                    debug_assert!(ok);
+                }
+                self.var_inc /= 0.95;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    conflicts_until_restart = luby(restart_idx) * 128;
+                    self.backtrack(0);
+                }
+            } else if !self.decide() {
+                let model = self.assign.iter().map(|&a| a == LBool::True).collect();
+                return SatOutcome::Sat(model);
+            }
+        }
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.n_vars
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(i: u32) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) < u64::from(i) + 2 {
+        k += 1;
+    }
+    let mut size = (1u64 << k) - 1;
+    let mut idx = u64::from(i);
+    while size > 1 {
+        let half = size / 2;
+        if idx == size - 1 {
+            return size.div_ceil(2);
+        }
+        if idx >= half {
+            idx -= half;
+        }
+        size = half;
+    }
+    1
+}
+
+/// Convenience used by unit tests elsewhere in the crate: solve with a
+/// large budget and return satisfiability as a bool.
+///
+/// # Panics
+///
+/// Panics if the budget is exhausted (tests are expected to be tiny).
+pub fn solve_for_tests(cnf: &Cnf) -> bool {
+    match SatSolver::new(cnf).solve(1_000_000) {
+        SatOutcome::Sat(m) => {
+            assert!(cnf.eval(&m), "model must satisfy the formula");
+            true
+        }
+        SatOutcome::Unsat => false,
+        SatOutcome::Unknown => panic!("test formula exhausted budget"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(Var(v), pos)
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause(&[Lit::pos(a)]);
+        assert!(solve_for_tests(&cnf));
+        cnf.add_clause(&[Lit::neg(a)]);
+        assert!(!solve_for_tests(&cnf));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new();
+        let _ = cnf.new_var();
+        cnf.add_clause(&[]);
+        assert!(!solve_for_tests(&cnf));
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        // x0 & (x0 -> x1) & ... & (x98 -> x99) & !x99 : unsat
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..100).map(|_| cnf.new_var()).collect();
+        cnf.add_clause(&[Lit::pos(vars[0])]);
+        for w in vars.windows(2) {
+            cnf.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        assert!(solve_for_tests(&cnf));
+        cnf.add_clause(&[Lit::neg(vars[99])]);
+        assert!(!solve_for_tests(&cnf));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p(i,j): pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut cnf = Cnf::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = cnf.new_var();
+            }
+        }
+        for row in &p {
+            cnf.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        // At most one pigeon per hole: iterate column-wise over the grid.
+        for hole in 0..2 {
+            let column: Vec<Var> = p.iter().map(|row| row[hole]).collect();
+            for i1 in 0..column.len() {
+                for i2 in (i1 + 1)..column.len() {
+                    cnf.add_clause(&[Lit::neg(column[i1]), Lit::neg(column[i2])]);
+                }
+            }
+        }
+        assert!(!solve_for_tests(&cnf));
+    }
+
+    #[test]
+    fn random_3sat_instances_agree_with_bruteforce() {
+        let mut seed = 0x1234_5678_u64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let n_vars = 8;
+            let n_clauses = 3 + (rand() % 30) as usize;
+            let mut cnf = Cnf::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| cnf.new_var()).collect();
+            for _ in 0..n_clauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[(rand() % n_vars as u64) as usize];
+                    c.push(Lit::new(v, rand() % 2 == 0));
+                }
+                cnf.add_clause(&c);
+            }
+            let brute = (0..(1u32 << n_vars)).any(|bits| {
+                let assignment: Vec<bool> = (0..n_vars).map(|i| bits >> i & 1 == 1).collect();
+                cnf.eval(&assignment)
+            });
+            assert_eq!(solve_for_tests(&cnf), brute);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // A hard-ish pigeonhole instance with a budget of 1 conflict.
+        let mut cnf = Cnf::new();
+        let n = 6; // 6 pigeons, 5 holes
+        let holes = 5;
+        let mut p = vec![vec![Var(0); holes]; n];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = cnf.new_var();
+            }
+        }
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            cnf.add_clause(&c);
+        }
+        for hole in 0..holes {
+            let column: Vec<Var> = p.iter().map(|row| row[hole]).collect();
+            for i1 in 0..column.len() {
+                for i2 in (i1 + 1)..column.len() {
+                    cnf.add_clause(&[Lit::neg(column[i1]), Lit::neg(column[i2])]);
+                }
+            }
+        }
+        let mut s = SatSolver::new(&cnf);
+        assert_eq!(s.solve(1), SatOutcome::Unknown);
+        // With a big budget it resolves to Unsat.
+        let mut s2 = SatSolver::new(&cnf);
+        assert_eq!(s2.solve(1_000_000), SatOutcome::Unsat);
+        assert!(s2.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u32), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause(&[Lit::pos(a), Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause(&[Lit::pos(a), Lit::neg(a)]); // tautology
+        cnf.add_clause(&[Lit::neg(b)]);
+        assert!(solve_for_tests(&cnf));
+        let _ = lit(0, true);
+    }
+}

@@ -1,0 +1,98 @@
+//! The concrete-or-symbolic value held in a register during symbolic
+//! execution.
+
+use er_solver::expr::{ExprPool, ExprRef, Sort};
+
+/// A register value: a concrete machine word or a reference into the
+/// expression pool.
+///
+/// Concrete values keep the register-file invariant of the interpreter:
+/// truncated at their defining width and zero-extended to `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymValue {
+    /// A known machine word.
+    Concrete(u64),
+    /// A symbolic expression (bitvector- or boolean-sorted).
+    Sym(ExprRef),
+}
+
+impl SymValue {
+    /// Whether this value is concrete.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, SymValue::Concrete(_))
+    }
+
+    /// The concrete value, if any.
+    pub fn as_concrete(&self) -> Option<u64> {
+        match self {
+            SymValue::Concrete(v) => Some(*v),
+            SymValue::Sym(_) => None,
+        }
+    }
+
+    /// Converts to a pool expression of exactly `bits` width, inserting
+    /// zext/trunc/bool-to-bv adapters as needed.
+    pub fn to_expr(self, pool: &mut ExprPool, bits: u32) -> ExprRef {
+        match self {
+            SymValue::Concrete(v) => pool.bv_const(v, bits),
+            SymValue::Sym(e) => match pool.sort(e) {
+                Sort::Bool => pool.bool_to_bv(e, bits),
+                Sort::Bv(w) if w == bits => e,
+                Sort::Bv(w) if w < bits => pool.zext(e, bits),
+                Sort::Bv(_) => pool.trunc(e, bits),
+            },
+        }
+    }
+
+    /// Normalizes a freshly built expression: concrete constants collapse
+    /// back to [`SymValue::Concrete`] so downstream stays on the fast path.
+    pub fn from_expr(pool: &ExprPool, e: ExprRef) -> SymValue {
+        match pool.as_const(e) {
+            Some(v) => SymValue::Concrete(v),
+            None => SymValue::Sym(e),
+        }
+    }
+}
+
+impl From<u64> for SymValue {
+    fn from(v: u64) -> Self {
+        SymValue::Concrete(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_solver::expr::CmpKind;
+
+    #[test]
+    fn conversion_adapts_widths() {
+        let mut pool = ExprPool::new();
+        let x = pool.var("x", 8);
+        let widened = SymValue::Sym(x).to_expr(&mut pool, 32);
+        assert_eq!(pool.sort(widened), Sort::Bv(32));
+        let narrowed = SymValue::Sym(widened).to_expr(&mut pool, 8);
+        assert_eq!(narrowed, x, "trunc(zext(x)) folds back");
+        let c = SymValue::Concrete(0x1ff).to_expr(&mut pool, 8);
+        assert_eq!(pool.as_const(c), Some(0xff));
+    }
+
+    #[test]
+    fn bool_exprs_become_bitvectors() {
+        let mut pool = ExprPool::new();
+        let x = pool.var("x", 32);
+        let y = pool.var("y", 32);
+        let c = pool.cmp(CmpKind::Ult, x, y);
+        let bv = SymValue::Sym(c).to_expr(&mut pool, 8);
+        assert_eq!(pool.sort(bv), Sort::Bv(8));
+    }
+
+    #[test]
+    fn from_expr_collapses_constants() {
+        let mut pool = ExprPool::new();
+        let five = pool.bv_const(5, 32);
+        assert_eq!(SymValue::from_expr(&pool, five), SymValue::Concrete(5));
+        let x = pool.var("x", 32);
+        assert!(matches!(SymValue::from_expr(&pool, x), SymValue::Sym(_)));
+    }
+}

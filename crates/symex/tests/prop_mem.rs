@@ -1,0 +1,124 @@
+//! Property test for the symbolic memory: random interleavings of concrete
+//! and symbolic stores/loads must agree with a reference byte map once the
+//! symbolic variables are bound to their intended values.
+
+use er_minilang::ir::Program;
+use er_minilang::value::Width;
+use er_solver::expr::{ExprPool, ExprRef, VarId};
+use er_solver::simplify::eval_concrete;
+use er_symex::{SymMemory, SymValue};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store a concrete value at a concrete offset.
+    StoreConcrete { off: u64, w: Width, value: u64 },
+    /// Store a fresh symbolic variable (with an intended value) at a
+    /// concrete offset.
+    StoreSymbolic { off: u64, w: Width, intended: u64 },
+    /// Store through a symbolic address (base + fresh index variable with
+    /// an intended value).
+    StoreSymbolicAddr { idx: u64, w: Width, value: u64 },
+    /// Load and check at a concrete offset.
+    Load { off: u64, w: Width },
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::W8),
+        Just(Width::W16),
+        Just(Width::W32),
+        Just(Width::W64)
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..56, width(), any::<u64>()).prop_map(|(off, w, value)| Op::StoreConcrete {
+            off,
+            w,
+            value
+        }),
+        (0u64..56, width(), any::<u64>()).prop_map(|(off, w, intended)| Op::StoreSymbolic {
+            off,
+            w,
+            intended
+        }),
+        (0u64..7, width(), any::<u64>()).prop_map(|(idx, w, value)| Op::StoreSymbolicAddr {
+            idx,
+            w,
+            value
+        }),
+        (0u64..56, width()).prop_map(|(off, w)| Op::Load { off, w }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn symbolic_memory_agrees_with_reference(ops in prop::collection::vec(op(), 1..40)) {
+        let mut pool = ExprPool::new();
+        let mut mem = SymMemory::new(&Program::default());
+        let base = mem.heap_alloc(64, "obj".into());
+        // Reference byte map plus intended values for every variable.
+        let mut reference = [0u8; 64];
+        let mut bindings: HashMap<VarId, u64> = HashMap::new();
+        let mut var_n = 0u32;
+
+        let mut fresh = |pool: &mut ExprPool, bindings: &mut HashMap<VarId, u64>, v: u64, bits: u32| -> ExprRef {
+            let var = pool.var(format!("v{var_n}"), bits);
+            bindings.insert(VarId(var_n), v);
+            var_n += 1;
+            var
+        };
+
+        for op in ops {
+            match op {
+                Op::StoreConcrete { off, w, value } => {
+                    mem.store(&mut pool, base + off, w, SymValue::Concrete(value)).unwrap();
+                    for k in 0..w.bytes() {
+                        reference[(off + k) as usize] = (value >> (8 * k)) as u8;
+                    }
+                }
+                Op::StoreSymbolic { off, w, intended } => {
+                    let v = w.trunc(intended);
+                    let var = fresh(&mut pool, &mut bindings, v, w.bits());
+                    mem.store(&mut pool, base + off, w, SymValue::Sym(var)).unwrap();
+                    for k in 0..w.bytes() {
+                        reference[(off + k) as usize] = (v >> (8 * k)) as u8;
+                    }
+                }
+                Op::StoreSymbolicAddr { idx, w, value } => {
+                    // addr = base + 8 * idxvar, idxvar intended = idx.
+                    let idxvar = fresh(&mut pool, &mut bindings, idx, 64);
+                    let eight = pool.bv_const(8, 64);
+                    let scaled = pool.bin(er_solver::expr::BvOp::Mul, idxvar, eight);
+                    let basec = pool.bv_const(base, 64);
+                    let addr = pool.bin(er_solver::expr::BvOp::Add, basec, scaled);
+                    mem.store_symbolic(&mut pool, base, addr, w, SymValue::Concrete(value));
+                    let off = idx * 8;
+                    for k in 0..w.bytes() {
+                        reference[(off + k) as usize] = (value >> (8 * k)) as u8;
+                    }
+                }
+                Op::Load { off, w } => {
+                    let got = mem.load(&mut pool, base + off, w).unwrap();
+                    let mut expect = 0u64;
+                    for k in 0..w.bytes() {
+                        expect |= u64::from(reference[(off + k) as usize]) << (8 * k);
+                    }
+                    let bindings = bindings.clone();
+                    let got_val = match got {
+                        SymValue::Concrete(v) => v,
+                        SymValue::Sym(e) => eval_concrete(&pool, e, &move |id| {
+                            bindings.get(&id).copied().unwrap_or(0)
+                        }),
+                    };
+                    prop_assert_eq!(got_val, expect, "load at {} width {:?}", off, w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,784 @@
+//! The thirteen Table-1 bug programs.
+//!
+//! Shared idioms:
+//!
+//! * **Bulk work** — every program calls `crunch(@BULK@)`, a concrete
+//!   FNV-style loop whose bound is baked in at compile time from the
+//!   [`Scale`], giving each workload its Table-1-like dynamic instruction
+//!   count without adding symbolic state.
+//! * **Symbolic table stages** — a store through a masked symbolic index
+//!   into a table followed by a branch on a symbolic read of the same
+//!   table. Each stage costs shepherded symbolic execution one solver
+//!   stall, so a bug behind `k` stages reproduces in `k + 1` occurrences
+//!   (the Table-1 `#Occur` column is engineered this way).
+//! * **Failure alignment** — the production input generator aligns every
+//!   stage's probe key with its store key on a fraction of runs; only those
+//!   runs can reach the bug.
+
+use crate::{Scale, Workload};
+use er_minilang::env::Env;
+use er_minilang::interp::SchedConfig;
+
+/// The concrete bulk-work function shared by all programs.
+const CRUNCH: &str = r#"
+fn crunch(n: u64) -> u64 {
+    let h: u64 = 14695981039346656037;
+    for i: u64 = 0; i < n; i = i + 1 {
+        h = (h ^ i) * 1099511628211;
+        h = h ^ (h >> 33);
+    }
+    return h;
+}
+"#;
+
+fn render(template: &str, scale: Scale, base: u64) -> String {
+    let bulk = base * u64::from(scale.0);
+    format!("{CRUNCH}{}", template.replace("@BULK@", &bulk.to_string()))
+}
+
+/// Splitmix-style hash for reproducible pseudo-random inputs.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Emits `n` unrolled decoy statements: each reads fresh input (stream 2)
+/// and stores it, tainting the constraint graph with symbolic values that
+/// are irrelevant to the failure. Real programs carry large amounts of such
+/// state; it is what makes the §5.2 random-recording ablation hard (each
+/// decoy is a distinct static site competing for the recording budget).
+fn decoy_block(n: u32) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(&format!(
+            "    DECOYS[{}] = input_u64(2) ^ {};\n",
+            i % 64,
+            0x5151 + u64::from(i) * 97
+        ));
+    }
+    out
+}
+
+fn push_decoys(env: &mut Env, run: u64, n: u32) {
+    for i in 0..n {
+        env.push_input(2, &mix(run ^ (u64::from(i) << 32)).to_le_bytes());
+    }
+}
+
+/// Pushes `stages` (key, probe) u64 pairs onto stream 0; probes equal keys
+/// exactly when `align` is true.
+fn push_stage_keys(env: &mut Env, run: u64, stages: u32, align: bool) {
+    for s in 0..stages {
+        let k = mix(run.wrapping_mul(31).wrapping_add(u64::from(s)));
+        let p = if align { k } else { k ^ 1 };
+        env.push_input(0, &k.to_le_bytes());
+        env.push_input(0, &p.to_le_bytes());
+    }
+}
+
+fn staged_inputs(stages: u32, period: u64, decoys: u32) -> impl Fn(u64) -> Env {
+    move |run| {
+        let mut env = Env::new();
+        push_decoys(&mut env, run, decoys);
+        push_stage_keys(&mut env, run, stages, run % period == period - 1);
+        env
+    }
+}
+
+fn staged_perf(stages: u32, decoys: u32) -> fn(u64) -> Env {
+    // Stored per-arity via a small trampoline table to stay a fn pointer.
+    match (stages, decoys) {
+        (2, 2) => |run| {
+            let mut env = Env::new();
+            push_decoys(&mut env, run, 2);
+            push_stage_keys(&mut env, run, 2, false);
+            env
+        },
+        (2, _) => |run| {
+            let mut env = Env::new();
+            push_decoys(&mut env, run, 40);
+            push_stage_keys(&mut env, run, 2, false);
+            env
+        },
+        (3, _) => |run| {
+            let mut env = Env::new();
+            push_decoys(&mut env, run, 40);
+            push_stage_keys(&mut env, run, 3, false);
+            env
+        },
+        (5, _) => |run| {
+            let mut env = Env::new();
+            push_decoys(&mut env, run, 40);
+            push_stage_keys(&mut env, run, 5, false);
+            env
+        },
+        (9, _) => |run| {
+            let mut env = Env::new();
+            push_decoys(&mut env, run, 40);
+            push_stage_keys(&mut env, run, 9, false);
+            env
+        },
+        _ => |_| Env::new(),
+    }
+}
+
+fn staged_prod(stages: u32, decoys: u32) -> fn(u64) -> Env {
+    // fn-pointer trampolines per (stages, decoys) combination in use.
+    match (stages, decoys) {
+        (2, 2) => |run| staged_inputs(2, 5, 2)(run),
+        (2, _) => |run| staged_inputs(2, 5, 40)(run),
+        (3, _) => |run| staged_inputs(3, 5, 40)(run),
+        (5, _) => |run| staged_inputs(5, 5, 40)(run),
+        (9, _) => |run| staged_inputs(9, 5, 40)(run),
+        _ => |run| staged_inputs(1, 5, 40)(run),
+    }
+}
+
+/// Emits `n` nested symbolic-table stages (after `decoys` decoy reads) and
+/// the crash body innermost.
+fn stages_src(n: u32, decoys: u32, crash_body: &str) -> String {
+    let mut decls = String::from("global DECOYS: [u64; 64];\n");
+    let mut open = String::new();
+    let mut close = String::new();
+    for s in 1..=n {
+        decls.push_str(&format!("global T{s}: [u64; 256];\n"));
+        open.push_str(&format!(
+            r#"
+    let k{s}: u64 = input_u64(0) & 255;
+    let p{s}: u64 = input_u64(0) & 255;
+    T{s}[k{s}] = {marker};
+    if T{s}[p{s}] == {marker} {{
+"#,
+            marker = 40 + s
+        ));
+        close.push_str("    }\n");
+    }
+    let decoy = decoy_block(decoys);
+    format!(
+        r#"{decls}
+fn main() {{
+    print(crunch(@BULK@));
+{decoy}
+{open}
+{crash_body}
+{close}
+    print(0);
+}}
+"#
+    )
+}
+
+pub(crate) fn php_2012_2386() -> Workload {
+    // Integer overflow: a 32-bit element-count × element-size computation
+    // wraps, the undersized heap buffer is overrun, and the corrupted
+    // allocation header is detected on free (arbitrary-code-execution CVE
+    // modeled as a fail-stop corruption check).
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        let count: u32 = 0x1000_0010;
+        let size: u32 = 16;
+        let total: u32 = count * size;        // wraps to 0x100
+        let buf: u64 = alloc(total as u64);
+        let hdr: u64 = alloc(16);
+        store64(hdr, 12648430);
+        for i: u64 = 0; i < 272; i = i + 1 {  // writes past 0x100 bytes
+            store8(buf + i, 65);
+        }
+        let magic: u64 = load64(hdr);
+        assert(magic == 12648430, "allocator header corrupted");
+        free(hdr);
+        free(buf);
+"#;
+        render(&stages_src(5, 40, crash), scale, 11_000)
+    }
+    Workload {
+        name: "PHP-2012-2386",
+        app: "PHP 5.3.6",
+        bug_type: "Integer overflow",
+        multithreaded: false,
+        expected_occurrences: 6,
+        source,
+        input_gen: staged_prod(5, 40),
+        perf_gen: staged_perf(5, 40),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn php_74194() -> Workload {
+    // Heap buffer overflow while serializing an ArrayObject: nine rounds of
+    // dictionary lookups (the Fig. 5 subject: the deepest stage pipeline)
+    // followed by a serialization buffer overrun that corrupts the adjacent
+    // object's length field, crashing on a bounds assertion.
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        let payload: u64 = alloc(64);
+        let meta: u64 = alloc(16);
+        store64(meta, 64);
+        for i: u64 = 0; i < 80; i = i + 1 {   // serializer writes 80 > 64
+            store8(payload + i, 90);
+        }
+        let len: u64 = load64(meta);
+        assert(len == 64, "serialized length field corrupted");
+"#;
+        render(&stages_src(9, 40, crash), scale, 12_000)
+    }
+    Workload {
+        name: "PHP-74194",
+        app: "PHP 7.1.6",
+        bug_type: "Heap buffer overflow",
+        multithreaded: false,
+        expected_occurrences: 10,
+        source,
+        input_gen: staged_prod(9, 40),
+        perf_gen: staged_perf(9, 40),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn sqlite_7be932d() -> Workload {
+    // NULL pointer dereference: the CLI's `.stats`/`.eqp` interaction leaves
+    // a statement-table slot empty; executing through it dereferences null.
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        var stmts: [u64; 16];
+        stmts[3] = alloc(32);
+        // The ".eqp" path resets a slot the ".stats" path still uses.
+        stmts[3] = 0;
+        let stmt: u64 = stmts[3];
+        let opcode: u64 = load64(stmt);       // NULL deref
+        print(opcode);
+"#;
+        render(&stages_src(2, 40, crash), scale, 2_900)
+    }
+    Workload {
+        name: "SQLite-7be932d",
+        app: "SQLite 3.27.0",
+        bug_type: "NULL pointer dereference",
+        multithreaded: false,
+        expected_occurrences: 3,
+        source,
+        input_gen: staged_prod(2, 40),
+        perf_gen: staged_perf(2, 40),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn sqlite_787fa71() -> Workload {
+    // Inconsistent data structure: a co-routine-style two-phase update
+    // leaves a cursor's page/offset pair mismatched; the integrity assert
+    // fires on the next access.
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        global_page = 7;
+        // Phase 2 of the multi-use subquery updates offset but the
+        // co-routine path skips the matching page update.
+        global_off = 7 * 256 + 64;
+        global_page = 5;
+        let page: u64 = global_page;
+        let off: u64 = global_off;
+        assert(off / 256 == page, "cursor page/offset inconsistent");
+"#;
+        let tmpl = format!(
+            "global global_page: u64;\nglobal global_off: u64;\n{}",
+            stages_src(3, 40, crash)
+        );
+        render(&tmpl, scale, 2_300)
+    }
+    Workload {
+        name: "SQLite-787fa71",
+        app: "SQLite 3.8.11",
+        bug_type: "Inconsistent data-structure",
+        multithreaded: false,
+        expected_occurrences: 4,
+        source,
+        input_gen: staged_prod(3, 40),
+        perf_gen: staged_perf(3, 40),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn sqlite_4e8e485() -> Workload {
+    // NULL pointer dereference: the OR-term WHERE-clause planner consults
+    // an index-strategy table; the missing strategy entry is null.
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        var strategies: [u64; 8];
+        for s: u64 = 0; s < 7; s = s + 1 {
+            strategies[s] = alloc(24);
+        }
+        // Strategy 7 (OR-term scan) was never registered.
+        let chosen: u64 = strategies[7];
+        let cost: u64 = load64(chosen + 8);   // NULL deref
+        print(cost);
+"#;
+        render(&stages_src(2, 40, crash), scale, 2_500)
+    }
+    Workload {
+        name: "SQLite-4e8e485",
+        app: "SQLite 3.25.0",
+        bug_type: "NULL pointer dereference",
+        multithreaded: false,
+        expected_occurrences: 3,
+        source,
+        input_gen: staged_prod(2, 40),
+        perf_gen: staged_perf(2, 40),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn nasm_2004_1287() -> Workload {
+    // Stack buffer overrun: the `%error` preprocessor directive copies its
+    // message into a fixed stack buffer without bounds checking; the
+    // overrun tramples the adjacent parser-state array. The constraint
+    // graph stays tiny, which is why even random data recording can solve
+    // this one (paper §5.2).
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        var msgbuf: [u8; 32];
+        var state: [u8; 16];
+        state[0] = 0;
+        let msglen: u64 = 48;                 // directive message length
+        for i: u64 = 0; i < msglen; i = i + 1 {
+            msgbuf[i] = 88;                   // overruns into state
+        }
+        let mode: u8 = state[0];
+        assert(mode == 0, "parser state trampled by %error directive");
+"#;
+        render(&stages_src(2, 2, crash), scale, 3_100)
+    }
+    Workload {
+        name: "Nasm-2004-1287",
+        app: "Nasm 0.98.34",
+        bug_type: "Stack buffer overrun",
+        multithreaded: false,
+        expected_occurrences: 3,
+        source,
+        input_gen: staged_prod(2, 2),
+        perf_gen: staged_perf(2, 2),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn objdump_2018_6323() -> Workload {
+    // Integer overflow (shortest trace in Table 1): an ELF section's
+    // `entsize * count` wraps in 32 bits, passing the sanity check, and the
+    // relocation loop walks past the section end.
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        let entsize: u32 = 0x4000_0001;
+        let cnt: u32 = 4;
+        let span: u32 = entsize * cnt;        // wraps to 4
+        assert(span <= 64, "section span sanity check");
+        var section: [u8; 64];
+        var relocs: [u8; 16];
+        relocs[0] = 0;
+        for i: u64 = 0; i < 80; i = i + 1 {   // walks past section end
+            section[i] = 7;
+        }
+        let tag: u8 = relocs[0];
+        assert(tag == 0, "relocation table overwritten");
+"#;
+        render(&stages_src(2, 40, crash), scale, 670)
+    }
+    Workload {
+        name: "Objdump-2018-6323",
+        app: "Objdump 2.26",
+        bug_type: "Integer overflow",
+        multithreaded: false,
+        expected_occurrences: 3,
+        source,
+        input_gen: staged_prod(2, 40),
+        perf_gen: staged_perf(2, 40),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn matrixssl_2014_1569() -> Workload {
+    // Stack buffer overrun while parsing x.509 certificate lengths. The
+    // corruption happens early and the crash only fires after the bulk of
+    // the handshake (the paper measures the patch site ~3M instructions
+    // before the failure) — a latent bug by construction: note the second
+    // crunch between corruption and detection.
+    fn source(scale: Scale) -> String {
+        let crash = r#"
+        var oidbuf: [u8; 24];
+        var issuer: [u8; 16];
+        issuer[0] = 0;
+        let oidlen: u64 = 40;                 // attacker-controlled length
+        for i: u64 = 0; i < oidlen; i = i + 1 {
+            oidbuf[i] = 66;                   // tramples issuer
+        }
+        print(crunch(@BULK@));                // latent distance
+        let tag: u8 = issuer[0];
+        assert(tag == 0, "issuer field corrupted during OID parse");
+"#;
+        render(&stages_src(5, 40, crash), scale, 4_600)
+    }
+    Workload {
+        name: "Matrixssl-2014-1569",
+        app: "Matrixssl 4.0.1",
+        bug_type: "Stack buffer overrun",
+        multithreaded: false,
+        expected_occurrences: 6,
+        source,
+        input_gen: staged_prod(5, 40),
+        perf_gen: staged_perf(5, 40),
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn memcached_2019_11596() -> Workload {
+    // Multithreaded NULL pointer dereference: a worker evicting an item
+    // momentarily nulls its pointer-table slot; a racing lookup on the main
+    // thread dereferences the null pointer (coarse interleaving: the
+    // eviction window spans hundreds of instructions).
+    fn source(scale: Scale) -> String {
+        let decoy = decoy_block(32);
+        let tmpl = r#"
+global DECOYS: [u64; 64];
+global PTRS: [u64; 256];
+global HASH: [u64; 256];
+
+fn evictor(key: u64) {
+    let slot: u64 = key & 255;
+    PTRS[slot] = 0;
+    let acc: u64 = 0;
+    for i: u64 = 0; i < 900; i = i + 1 { acc = acc + i; }
+    PTRS[slot] = alloc(32);
+    print(acc);
+}
+
+fn main() {
+    print(crunch(@BULK@));
+@DECOYS@
+    let k: u64 = input_u64(0) & 255;
+    let p: u64 = input_u64(0) & 255;
+    PTRS[k] = alloc(32);
+    HASH[k] = 41;
+    let t: u64 = spawn evictor(k);
+    let spin: u64 = 0;
+    for i: u64 = 0; i < 250; i = i + 1 { spin = spin + 2; }
+    print(spin);
+    if HASH[p] == 41 {
+        let item: u64 = PTRS[p];
+        let flags: u64 = load64(item);        // NULL deref during eviction
+        print(flags);
+    }
+    join(t);
+    print(0);
+}
+"#;
+        render(&tmpl.replace("@DECOYS@", &decoy), scale, 3_800)
+    }
+    fn inputs(run: u64) -> Env {
+        let mut env = Env::new();
+        push_decoys(&mut env, run, 32);
+        let k = mix(run);
+        let aligned = !run.is_multiple_of(3); // races need many aligned attempts
+        let p = if aligned { k } else { k ^ 1 };
+        env.push_input(0, &k.to_le_bytes());
+        env.push_input(0, &p.to_le_bytes());
+        env
+    }
+    fn perf(run: u64) -> Env {
+        let mut env = Env::new();
+        push_decoys(&mut env, run, 32);
+        let k = mix(run);
+        env.push_input(0, &k.to_le_bytes());
+        env.push_input(0, &(k ^ 1).to_le_bytes());
+        env
+    }
+    fn sched(run: u64) -> SchedConfig {
+        SchedConfig {
+            quantum: 400,
+            seed: run + 1,
+            max_instrs: 500_000_000,
+        }
+    }
+    Workload {
+        name: "Memcached-2019-11596",
+        app: "Memcached 1.5.13",
+        bug_type: "NULL pointer dereference",
+        multithreaded: true,
+        expected_occurrences: 2,
+        source,
+        input_gen: inputs,
+        perf_gen: perf,
+        sched_gen: Some(sched),
+    }
+}
+
+pub(crate) fn libpng_2004_0597() -> Workload {
+    // Buffer overflow reproducible from control flow alone (one of the two
+    // single-occurrence rows): a chunk's declared length is not validated
+    // against the row buffer, and the copy tramples the palette sentinel.
+    fn source(scale: Scale) -> String {
+        let tmpl = r#"
+fn main() {
+    print(crunch(@BULK@));
+    let chunk_len: u32 = input_u32(0);
+    var row: [u8; 48];
+    var palette: [u8; 80];
+    palette[0] = 0;
+    let n: u32 = chunk_len & 127;
+    for i: u32 = 0; i < n; i = i + 1 {
+        row[i] = input_u8(0);
+    }
+    let sentinel: u8 = palette[0];
+    assert(sentinel == 0, "palette corrupted by oversized chunk");
+    print(n);
+}
+"#;
+        render(tmpl, scale, 150)
+    }
+    fn inputs(run: u64) -> Env {
+        let mut env = Env::new();
+        // Every 4th request carries an oversized chunk with nonzero bytes.
+        let n: u32 = if run % 4 == 3 { 80 } else { 32 };
+        env.push_input(0, &n.to_le_bytes());
+        for i in 0..(n & 127) {
+            env.push_input(0, &[(mix(run + u64::from(i)) as u8) | 1]);
+        }
+        env
+    }
+    fn perf(run: u64) -> Env {
+        let mut env = Env::new();
+        env.push_input(0, &32u32.to_le_bytes());
+        for i in 0..32 {
+            env.push_input(0, &[mix(run + i) as u8]);
+        }
+        env
+    }
+    Workload {
+        name: "Libpng-2004-0597",
+        app: "Libpng 1.2.5",
+        bug_type: "Buffer overflow",
+        multithreaded: false,
+        expected_occurrences: 1,
+        source,
+        input_gen: inputs,
+        perf_gen: perf,
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn bash_108885() -> Workload {
+    // NULL pointer dereference from a 4-byte script (the second
+    // single-occurrence row): the here-doc redirection parser follows an
+    // uninitialized word-descriptor pointer.
+    fn source(scale: Scale) -> String {
+        let tmpl = r#"
+global WORD_DESC: u64;
+
+fn main() {
+    print(crunch(@BULK@));
+    let c0: u8 = input_u8(0);
+    let c1: u8 = input_u8(0);
+    let c2: u8 = input_u8(0);
+    let c3: u8 = input_u8(0);
+    // "<<<\n": here-string with an empty word.
+    if c0 == 60 && c1 == 60 && c2 == 60 && c3 == 10 {
+        let w: u64 = WORD_DESC;               // never initialized: 0
+        let first: u8 = load8(w);             // NULL deref
+        print(first);
+    }
+    print(1);
+}
+"#;
+        render(tmpl, scale, 1_800)
+    }
+    fn inputs(run: u64) -> Env {
+        let mut env = Env::new();
+        let bytes: [u8; 4] = if run % 6 == 5 {
+            [60, 60, 60, 10]
+        } else {
+            [101, 99, 104, 111] // "echo"
+        };
+        env.push_input(0, &bytes);
+        env
+    }
+    fn perf(_run: u64) -> Env {
+        let mut env = Env::new();
+        env.push_input(0, &[108, 115, 32, 10]); // "ls \n"
+        env
+    }
+    Workload {
+        name: "Bash-108885",
+        app: "Bash 4.3.30",
+        bug_type: "NULL pointer dereference",
+        multithreaded: false,
+        expected_occurrences: 1,
+        source,
+        input_gen: inputs,
+        perf_gen: perf,
+        sched_gen: None,
+    }
+}
+
+pub(crate) fn python_2018_1000030() -> Workload {
+    // Multithreaded shared-data corruption (CVE-2018-1000030): the file
+    // object's readahead buffer position/length pair is updated
+    // non-atomically by a refilling thread, and a racing reader observes
+    // pos > len.
+    fn source(scale: Scale) -> String {
+        let decoy = decoy_block(32);
+        let tmpl = r#"
+global DECOYS: [u64; 64];
+global RA_POS: u64;
+global RA_LEN: u64;
+global LOOKUP: [u64; 256];
+
+fn refill(n: u64) {
+    RA_LEN = 0;
+    let acc: u64 = 0;
+    for i: u64 = 0; i < 900; i = i + 1 { acc = acc + 3; }
+    RA_LEN = (n & 255) + 512;
+    RA_POS = 0;
+    print(acc);
+}
+
+fn main() {
+    print(crunch(@BULK@));
+@DECOYS@
+    let k: u64 = input_u64(0) & 255;
+    let p: u64 = input_u64(0) & 255;
+    RA_LEN = 512;
+    RA_POS = k + 1;
+    LOOKUP[k] = 41;
+    let t: u64 = spawn refill(k);
+    let spin: u64 = 0;
+    for i: u64 = 0; i < 300; i = i + 1 { spin = spin + 1; }
+    print(spin);
+    if LOOKUP[p] == 41 {
+        let pos: u64 = RA_POS;
+        let len: u64 = RA_LEN;
+        assert(pos <= len, "readahead buffer corrupted");
+        print(pos);
+    }
+    join(t);
+    print(0);
+}
+"#;
+        render(&tmpl.replace("@DECOYS@", &decoy), scale, 75_000)
+    }
+    fn inputs(run: u64) -> Env {
+        let mut env = Env::new();
+        push_decoys(&mut env, run, 32);
+        let k = mix(run ^ 0xbeef);
+        let p = if !run.is_multiple_of(3) { k } else { k ^ 1 };
+        env.push_input(0, &k.to_le_bytes());
+        env.push_input(0, &p.to_le_bytes());
+        env
+    }
+    fn perf(run: u64) -> Env {
+        let mut env = Env::new();
+        push_decoys(&mut env, run, 32);
+        let k = mix(run ^ 0xbeef);
+        env.push_input(0, &k.to_le_bytes());
+        env.push_input(0, &(k ^ 1).to_le_bytes());
+        env
+    }
+    fn sched(run: u64) -> SchedConfig {
+        SchedConfig {
+            quantum: 400,
+            seed: run * 3 + 2,
+            max_instrs: 500_000_000,
+        }
+    }
+    Workload {
+        name: "Python-2018-1000030",
+        app: "Python 2.7.14",
+        bug_type: "Shared data corruption",
+        multithreaded: true,
+        expected_occurrences: 2,
+        source,
+        input_gen: inputs,
+        perf_gen: perf,
+        sched_gen: Some(sched),
+    }
+}
+
+pub(crate) fn pbzip2_094() -> Workload {
+    // Multithreaded use-after-free: the consumer thread frees a compressed
+    // chunk while the producer still holds its pointer and touches it to
+    // update accounting.
+    fn source(scale: Scale) -> String {
+        let decoy = decoy_block(32);
+        let tmpl = r#"
+global DECOYS: [u64; 64];
+global QUEUE: [u64; 128];
+global TAGS: [u64; 128];
+
+fn consumer(idx: u64) {
+    let slot: u64 = idx & 127;
+    let chunk: u64 = QUEUE[slot];
+    let acc: u64 = 0;
+    for i: u64 = 0; i < 400; i = i + 1 { acc = acc + 5; }
+    free(chunk);
+    print(acc);
+}
+
+fn main() {
+    print(crunch(@BULK@));
+@DECOYS@
+    let k: u64 = input_u64(0) & 127;
+    let p: u64 = input_u64(0) & 127;
+    let chunk: u64 = alloc(64);
+    QUEUE[k] = chunk;
+    TAGS[k] = 41;
+    if TAGS[p] == 41 {
+        let t: u64 = spawn consumer(k);
+        let spin: u64 = 0;
+        for i: u64 = 0; i < 900; i = i + 1 { spin = spin + 7; }
+        print(spin);
+        let c: u64 = QUEUE[p];
+        store64(c, 77);                      // use-after-free
+        print(1);
+        join(t);
+    } else {
+        let t2: u64 = spawn consumer(k);
+        join(t2);
+    }
+    print(0);
+}
+"#;
+        render(&tmpl.replace("@DECOYS@", &decoy), scale, 14_000)
+    }
+    fn inputs(run: u64) -> Env {
+        let mut env = Env::new();
+        push_decoys(&mut env, run, 32);
+        let k = mix(run ^ 0xf00d);
+        let p = if !run.is_multiple_of(3) { k } else { k ^ 1 };
+        env.push_input(0, &k.to_le_bytes());
+        env.push_input(0, &p.to_le_bytes());
+        env
+    }
+    fn perf(run: u64) -> Env {
+        let mut env = Env::new();
+        push_decoys(&mut env, run, 32);
+        let k = mix(run ^ 0xf00d);
+        env.push_input(0, &k.to_le_bytes());
+        env.push_input(0, &(k ^ 1).to_le_bytes());
+        env
+    }
+    fn sched(run: u64) -> SchedConfig {
+        SchedConfig {
+            quantum: 350,
+            seed: run * 5 + 1,
+            max_instrs: 500_000_000,
+        }
+    }
+    Workload {
+        name: "Pbzip2",
+        app: "Pbzip2 0.9.4",
+        bug_type: "Use-after-free",
+        multithreaded: true,
+        expected_occurrences: 2,
+        source,
+        input_gen: inputs,
+        perf_gen: perf,
+        sched_gen: Some(sched),
+    }
+}

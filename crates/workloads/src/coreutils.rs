@@ -1,0 +1,187 @@
+//! Mini coreutils (`od`, `pr`) for the §5.4 MIMIC case study.
+//!
+//! The paper's case study mines likely invariants from four successful
+//! executions of each tool, then checks which invariants the failing
+//! execution violates — once directly on the failing input, once on the
+//! execution ER reconstructs. Both tools are written so their functions
+//! take the numeric arguments Daikon-style invariant mining keys on.
+
+use er_minilang::env::Env;
+use er_minilang::ir::Program;
+
+/// `od`-like octal dumper. The bug (gnu bug-coreutils 2007-08): a skip
+/// offset larger than the input length wraps the remaining-byte count,
+/// which the dump loop then trusts.
+pub fn od_source() -> &'static str {
+    r#"
+global OUT: [u64; 64];
+
+fn format_byte(b: u8, pos: u64) -> u64 {
+    let hi: u8 = b / 64;
+    let mid: u8 = (b / 8) % 8;
+    let lo: u8 = b % 8;
+    let word: u64 = (hi as u64) * 100 + (mid as u64) * 10 + (lo as u64);
+    OUT[pos & 63] = word;
+    return word;
+}
+
+fn dump(len: u64, skip: u64) -> u64 {
+    let remaining: u64 = len - skip;      // wraps when skip > len
+    assert(remaining <= len, "od: wrapped dump length");
+    let emitted: u64 = 0;
+    for i: u64 = 0; i < remaining; i = i + 1 {
+        let b: u8 = input_u8(0);
+        format_byte(b, i);
+        emitted = emitted + 1;
+    }
+    return emitted;
+}
+
+fn main() {
+    let len: u64 = input_u64(1);
+    let skip: u64 = input_u64(1);
+    let n: u64 = dump(len, skip);
+    print(n);
+}
+"#
+}
+
+/// `pr`-like paginator. The bug (gnu bug-coreutils 2008-04): a column
+/// count of zero reaches the per-column width division.
+pub fn pr_source() -> &'static str {
+    r#"
+global PAGE: [u64; 128];
+
+fn layout(width: u64, cols: u64) -> u64 {
+    let colw: u64 = width / cols;          // divide by zero when cols == 0
+    return colw;
+}
+
+fn emit_page(lines: u64, cols: u64, width: u64) -> u64 {
+    if lines == 0 { return 0; }
+    let colw: u64 = layout(width, cols);
+    let cells: u64 = 0;
+    for l: u64 = 0; l < lines; l = l + 1 {
+        for c: u64 = 0; c < cols; c = c + 1 {
+            PAGE[(l * cols + c) & 127] = colw;
+            cells = cells + 1;
+        }
+    }
+    return cells;
+}
+
+fn main() {
+    let lines: u64 = input_u64(1);
+    let cols: u64 = input_u64(1);
+    let width: u64 = 72;
+    let cells: u64 = emit_page(lines % 16, cols % 8, width);
+    print(cells);
+}
+"#
+}
+
+/// Compiles the od program.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (covered by tests).
+pub fn od_program() -> Program {
+    er_minilang::compile(od_source()).expect("od compiles")
+}
+
+/// Compiles the pr program.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (covered by tests).
+pub fn pr_program() -> Program {
+    er_minilang::compile(pr_source()).expect("pr compiles")
+}
+
+/// Four successful od runs (dump lengths 4, 9, 16, 25 with valid skips).
+pub fn od_passing_envs() -> Vec<Env> {
+    [(8u64, 4u64), (12, 3), (20, 4), (30, 5)]
+        .iter()
+        .map(|&(len, skip)| {
+            let mut env = Env::new();
+            env.push_input(1, &len.to_le_bytes());
+            env.push_input(1, &skip.to_le_bytes());
+            for i in 0..(len - skip) {
+                env.push_input(0, &[(i * 37 + 11) as u8]);
+            }
+            env
+        })
+        .collect()
+}
+
+/// The failing od input: skip exceeds length, wrapping the count.
+pub fn od_failing_env() -> Env {
+    let mut env = Env::new();
+    env.push_input(1, &4u64.to_le_bytes());
+    env.push_input(1, &40u64.to_le_bytes());
+    env
+}
+
+/// Four successful pr runs.
+pub fn pr_passing_envs() -> Vec<Env> {
+    [(5u64, 2u64), (8, 3), (10, 4), (12, 1)]
+        .iter()
+        .map(|&(lines, cols)| {
+            let mut env = Env::new();
+            env.push_input(1, &lines.to_le_bytes());
+            env.push_input(1, &cols.to_le_bytes());
+            env
+        })
+        .collect()
+}
+
+/// The failing pr input: a column count that reduces to zero.
+pub fn pr_failing_env() -> Env {
+    let mut env = Env::new();
+    env.push_input(1, &6u64.to_le_bytes());
+    env.push_input(1, &8u64.to_le_bytes()); // 8 % 8 == 0 columns
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_minilang::error::FailureKind;
+    use er_minilang::interp::{Machine, RunOutcome};
+
+    #[test]
+    fn od_passes_then_fails() {
+        let p = od_program();
+        for env in od_passing_envs() {
+            let r = Machine::new(&p, env).run();
+            assert!(
+                matches!(r.outcome, RunOutcome::Completed),
+                "{:?}",
+                r.outcome
+            );
+        }
+        let r = Machine::new(&p, od_failing_env()).run();
+        let RunOutcome::Failure(f) = r.outcome else {
+            panic!("od must fail on wrapped skip")
+        };
+        assert_eq!(f.fault.kind(), FailureKind::Assertion);
+    }
+
+    #[test]
+    fn pr_passes_then_fails() {
+        let p = pr_program();
+        for env in pr_passing_envs() {
+            let r = Machine::new(&p, env).run();
+            assert!(
+                matches!(r.outcome, RunOutcome::Completed),
+                "{:?}",
+                r.outcome
+            );
+        }
+        let r = Machine::new(&p, pr_failing_env()).run();
+        let RunOutcome::Failure(f) = r.outcome else {
+            panic!("pr must fail on zero columns")
+        };
+        assert_eq!(f.fault.kind(), FailureKind::Arithmetic);
+    }
+}

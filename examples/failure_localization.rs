@@ -1,0 +1,79 @@
+//! Using ER as a substrate for other reliability tools (paper §5.4):
+//! MIMIC-style invariant-based failure localization on the mini `od`.
+//!
+//! The tool mines likely invariants from passing runs; when production
+//! fails, ER reconstructs an executable failing input, and the localizer
+//! reports which invariants it violates — the same verdicts the real
+//! failing input produces, without ever shipping that input off the
+//! production machine.
+//!
+//! Run with: `cargo run --release --example failure_localization`
+
+use er::core::deploy::Deployment;
+use er::core::reconstruct::{Outcome, Reconstructor};
+use er::invariants::{observe, observe_with_sched, InvariantSet, MineOptions};
+use er::minilang::env::Env;
+use er::minilang::interp::RunOutcome;
+use er::workloads::coreutils;
+
+fn clone_env(env: &Env) -> Env {
+    let mut out = Env::new();
+    for s in env.sources() {
+        out.push_input(s, env.stream_data(s).unwrap_or(&[]));
+    }
+    out
+}
+
+fn main() {
+    let program = coreutils::od_program();
+
+    // 1. Mine likely invariants from passing executions (offline, in-house;
+    //    the paper uses existing integration/unit tests for this).
+    let passing: Vec<_> = coreutils::od_passing_envs()
+        .into_iter()
+        .map(|env| {
+            let (outcome, obs) = observe(&program, env);
+            assert!(matches!(outcome, RunOutcome::Completed));
+            obs
+        })
+        .collect();
+    let invariants = InvariantSet::mine_with_options(
+        &program,
+        &passing,
+        MineOptions {
+            include_ranges: false,
+        },
+    );
+    println!(
+        "mined {} likely invariants from 4 passing runs",
+        invariants.len()
+    );
+
+    // 2. Production hits the bug (`od -j <skip>` with skip > length). ER
+    //    reconstructs an executable failing input from traces alone.
+    let deployment = Deployment::new(program.clone(), |_| clone_env(&coreutils::od_failing_env()));
+    let report = Reconstructor::default().reconstruct(&deployment);
+    let Outcome::Reproduced(test_case) = &report.outcome else {
+        panic!("reconstruction failed: {:?}", report.outcome);
+    };
+    println!(
+        "ER reproduced the od failure in {} occurrence(s)",
+        report.occurrences
+    );
+
+    // 3. Feed the reconstructed execution to the localizer.
+    let (outcome, obs) = observe_with_sched(&program, test_case.env(), test_case.sched);
+    assert!(matches!(outcome, RunOutcome::Failure(_)));
+    let violations = invariants.violations(&obs);
+    println!("\nroot-cause candidates (violated invariants):");
+    for v in &violations {
+        println!("  {v}");
+    }
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.func_name == "dump" && v.invariant.to_string() == "v1 <= v0"),
+        "the skip <= length invariant is the root cause"
+    );
+    println!("\n=> `dump` was entered with skip > length: the wrapped-count bug.");
+}

@@ -1,0 +1,219 @@
+//! `er-cli` — command-line front end for the ER reproduction.
+//!
+//! ```console
+//! $ er-cli run program.msl --input 0:0a000000
+//! $ er-cli trace program.msl --input 0:0a000000 --events 20
+//! $ er-cli workloads
+//! $ er-cli reconstruct --workload SQLite-7be932d
+//! ```
+
+use er::core::reconstruct::{Outcome, Reconstructor};
+use er::minilang::env::Env;
+use er::minilang::interp::{Machine, RunOutcome, SchedConfig};
+use er::minilang::ir::Program;
+use er::pt::sink::{PtConfig, PtSink};
+use er::workloads::{all, by_name, Scale};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+er-cli — Execution Reconstruction demo driver
+
+USAGE:
+    er-cli run <file.msl> [--input SRC:HEXBYTES]... [--seed N] [--quantum N]
+    er-cli trace <file.msl> [--input SRC:HEXBYTES]... [--events N]
+    er-cli workloads
+    er-cli reconstruct --workload <NAME> [--full]
+    er-cli help
+
+Programs are written in the mini systems language (see crates/minilang).
+--input pushes bytes onto a numbered input stream, e.g. --input 0:2a000000
+feeds the little-endian u32 42 to stream 0.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..], false),
+        Some("trace") => cmd_run(&args[1..], true),
+        Some("workloads") => cmd_workloads(),
+        Some("reconstruct") => cmd_reconstruct(&args[1..]),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_inputs(args: &[String]) -> Result<Env, String> {
+    let mut env = Env::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--input" {
+            let spec = args
+                .get(i + 1)
+                .ok_or_else(|| "--input needs SRC:HEXBYTES".to_string())?;
+            let (src, hex) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad --input `{spec}`: expected SRC:HEXBYTES"))?;
+            let source: u32 = src.parse().map_err(|_| format!("bad stream id `{src}`"))?;
+            if hex.len() % 2 != 0 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(format!("bad hex payload `{hex}`"));
+            }
+            let bytes: Vec<u8> = (0..hex.len())
+                .step_by(2)
+                .map(|k| u8::from_str_radix(&hex[k..k + 2], 16).expect("validated hex"))
+                .collect();
+            env.push_input(source, &bytes);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(env)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    er::minilang::compile(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn sched_from(args: &[String]) -> SchedConfig {
+    SchedConfig {
+        quantum: flag_value(args, "--quantum")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000),
+        seed: flag_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+        max_instrs: 500_000_000,
+    }
+}
+
+fn cmd_run(args: &[String], traced: bool) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("missing program file\n\n{USAGE}"))?;
+    let program = load_program(path)?;
+    let env = parse_inputs(args)?;
+    let sched = sched_from(args);
+
+    if traced {
+        let report = Machine::with_sink(&program, env, PtSink::new(PtConfig::default()))
+            .with_sched(sched)
+            .run();
+        let stats = report.sink.stats();
+        let trace = report.sink.finish();
+        println!("outcome: {}", describe(&report.outcome));
+        println!(
+            "instructions: {}  branches: {}  trace bytes: {}",
+            report.instr_count, stats.branches, stats.bytes
+        );
+        let decoded = trace.decode().map_err(|e| e.to_string())?;
+        let n: usize = flag_value(args, "--events")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        println!("first {n} decoded events:");
+        for ev in decoded.events.iter().take(n) {
+            println!("  {ev:?}");
+        }
+        if decoded.events.len() > n {
+            println!("  ... and {} more", decoded.events.len() - n);
+        }
+    } else {
+        let report = Machine::new(&program, env).with_sched(sched).run();
+        println!("outcome: {}", describe(&report.outcome));
+        println!("instructions: {}", report.instr_count);
+        for v in &report.output {
+            println!("output: {v}");
+        }
+    }
+    Ok(())
+}
+
+fn describe(outcome: &RunOutcome) -> String {
+    match outcome {
+        RunOutcome::Completed => "completed".into(),
+        RunOutcome::Failure(f) => format!("FAILURE: {f}"),
+    }
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!(
+        "{:<22} {:<18} {:<28} {:>3} {:>7}",
+        "NAME", "APP", "BUG TYPE", "MT", "#OCCUR"
+    );
+    for w in all() {
+        println!(
+            "{:<22} {:<18} {:<28} {:>3} {:>7}",
+            w.name,
+            w.app,
+            w.bug_type,
+            if w.multithreaded { "Y" } else { "N" },
+            w.expected_occurrences
+        );
+    }
+    Ok(())
+}
+
+fn cmd_reconstruct(args: &[String]) -> Result<(), String> {
+    let name = flag_value(args, "--workload")
+        .ok_or_else(|| format!("--workload <NAME> required (see `er-cli workloads`)\n\n{USAGE}"))?;
+    let workload = by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::FULL
+    } else {
+        Scale::TEST
+    };
+    println!(
+        "reconstructing {} ({}, {})...",
+        workload.name, workload.app, workload.bug_type
+    );
+    let deployment = workload.deployment(scale);
+    let report = Reconstructor::new(workload.er_config()).reconstruct(&deployment);
+    for it in &report.iterations {
+        println!(
+            "  occurrence {}: run {}, {} instrs, symbex {:?}{}",
+            it.occurrence,
+            it.run_index,
+            it.instr_count,
+            it.symbex_wall,
+            match &it.stalled {
+                Some(s) => format!(
+                    " — stalled ({s}); recording {} new site(s)",
+                    it.sites_selected
+                ),
+                None => " — completed".into(),
+            }
+        );
+    }
+    match &report.outcome {
+        Outcome::Reproduced(tc) => {
+            println!(
+                "reproduced in {} occurrence(s); test case: {} bytes over {} stream(s)",
+                report.occurrences,
+                tc.input_bytes(),
+                tc.inputs.len()
+            );
+            let verdict = tc.verify(deployment.program());
+            println!("replay verification: {verdict:?}");
+            Ok(())
+        }
+        Outcome::GaveUp(reason) => Err(format!("reconstruction gave up: {reason:?}")),
+    }
+}

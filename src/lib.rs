@@ -1,0 +1,60 @@
+//! Facade crate for the Execution Reconstruction (ER) reproduction.
+//!
+//! ER (Zuo et al., PLDI 2021) reproduces production failures by combining
+//! always-on hardware control-flow tracing, *shepherded symbolic execution*
+//! along the recorded trace, and *key data value selection*, which records
+//! a few cheap data values on later failure reoccurrences to break solver
+//! stalls. This crate re-exports every workspace crate under one roof so
+//! that examples and integration tests can `use er::...`:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`minilang`] | `er-minilang` | the language, IR, and tracing interpreter |
+//! | [`pt`] | `er-pt` | the software Intel-PT model |
+//! | [`solver`] | `er-solver` | the bitvector + array constraint solver |
+//! | [`symex`] | `er-symex` | the shepherded symbolic executor |
+//! | [`core`] | `er-core` | ER itself: graph analysis, selection, the loop |
+//! | [`baselines`] | `er-baselines` | rr-style record/replay, REPT-style recovery |
+//! | [`invariants`] | `er-invariants` | Daikon/MIMIC-style localization |
+//! | [`workloads`] | `er-workloads` | the 13 Table-1 bug programs |
+//!
+//! # End-to-end example
+//!
+//! ```
+//! use er::core::deploy::Deployment;
+//! use er::core::reconstruct::{Outcome, Reconstructor};
+//! use er::minilang::{compile, env::Env};
+//!
+//! // A service that crashes on a specific (unknown to us) request value.
+//! let program = compile(
+//!     r#"
+//!     fn main() {
+//!         let request: u32 = input_u32(0);
+//!         if request % 1000 == 77 { abort("bad request"); }
+//!         print(request);
+//!     }
+//!     "#,
+//! )?;
+//! // Production traffic: request k on run k.
+//! let deployment = Deployment::new(program, |run| {
+//!     let mut env = Env::new();
+//!     env.push_input(0, &(run as u32).to_le_bytes());
+//!     env
+//! });
+//! // ER watches traces, waits for the failure, and solves for an input.
+//! let report = Reconstructor::default().reconstruct(&deployment);
+//! let Outcome::Reproduced(test_case) = &report.outcome else { unreachable!() };
+//! let value = u32::from_le_bytes(test_case.inputs[0].1[..4].try_into().unwrap());
+//! assert_eq!(value % 1000, 77);
+//! assert!(test_case.verify(deployment.program()).reproduced());
+//! # Ok::<(), er::minilang::CompileError>(())
+//! ```
+
+pub use er_baselines as baselines;
+pub use er_core as core;
+pub use er_invariants as invariants;
+pub use er_minilang as minilang;
+pub use er_pt as pt;
+pub use er_solver as solver;
+pub use er_symex as symex;
+pub use er_workloads as workloads;

@@ -1,0 +1,147 @@
+//! Integration tests comparing ER against the record/replay and REPT
+//! baselines — the quantitative backbone of the paper's §2 taxonomy.
+
+use er::baselines::rept::{ConcreteTape, ReptAnalysis};
+use er::baselines::rr::RrRecorder;
+use er::minilang::compile;
+use er::minilang::env::Env;
+use er::minilang::interp::{Machine, RunOutcome, SchedConfig};
+use er::pt::sink::{PtConfig, PtSink};
+
+#[test]
+fn pt_trace_is_much_smaller_than_rr_log_per_event_but_traces_everything() {
+    // A branchy, input-light program: PT records every branch for ~1 bit;
+    // rr records nothing per branch but pays per preemption.
+    let program = compile(
+        r#"
+        fn main() {
+            let seed: u32 = input_u32(0);
+            let h: u32 = seed;
+            for i: u32 = 0; i < 50000; i = i + 1 {
+                if (h & 1) == 1 { h = h * 3 + 1; } else { h = h / 2; }
+                if h == 0 { h = seed + i; }
+            }
+            print(h);
+        }
+        "#,
+    )
+    .unwrap();
+    let sched = SchedConfig::default();
+    let mk_env = || {
+        let mut env = Env::new();
+        env.push_input(0, &27u32.to_le_bytes());
+        env
+    };
+    let pt = Machine::with_sink(&program, mk_env(), PtSink::new(PtConfig::default()))
+        .with_sched(sched)
+        .run();
+    let pt_stats = pt.sink.stats();
+    assert!(pt_stats.branches >= 100_000);
+    // About one bit per branch: comfortably under 2 bits.
+    assert!(
+        f64::from(u32::try_from(pt_stats.bytes).unwrap())
+            / f64::from(u32::try_from(pt_stats.branches).unwrap())
+            < 0.25,
+        "bytes/branch = {}",
+        pt_stats.bytes as f64 / pt_stats.branches as f64
+    );
+
+    let rr = Machine::with_sink(&program, mk_env(), RrRecorder::new(sched))
+        .with_sched(sched)
+        .run();
+    let log = rr.sink.finish();
+    // rr recorded only the input and preemptions, no branches...
+    assert!(log.events.len() < 1000);
+    // ...so its log cannot drive instruction-level analyses, while the PT
+    // trace decodes to every branch outcome.
+    let decoded = pt.sink.finish().decode().unwrap();
+    assert_eq!(decoded.branch_count() as u64, pt_stats.branches);
+}
+
+#[test]
+fn rr_replay_is_exact_while_er_inputs_are_equivalent_not_identical() {
+    let program = compile(
+        r#"
+        fn main() {
+            let x: u32 = input_u32(0);
+            if x % 100 == 42 { abort("boom"); }
+            print(x);
+        }
+        "#,
+    )
+    .unwrap();
+    let sched = SchedConfig::default();
+    let mut env = Env::new();
+    env.push_input(0, &142u32.to_le_bytes());
+    let report = Machine::with_sink(&program, env, RrRecorder::new(sched))
+        .with_sched(sched)
+        .run();
+    let RunOutcome::Failure(f) = &report.outcome else {
+        panic!("142 % 100 == 42 crashes")
+    };
+    // rr: byte-exact replay.
+    let log = report.sink.finish();
+    let replay = log.replay(&program);
+    let RunOutcome::Failure(f2) = replay.outcome else {
+        panic!()
+    };
+    assert!(f2.same_failure(f));
+    let rr_input = log.rebuild_env();
+    assert_eq!(rr_input.stream_data(0).unwrap(), 142u32.to_le_bytes());
+
+    // ER: the generated input satisfies the constraint but may differ.
+    let deployment = er::core::Deployment::new(program.clone(), |_| {
+        let mut env = Env::new();
+        env.push_input(0, &142u32.to_le_bytes());
+        env
+    });
+    let er_report = er::core::Reconstructor::default().reconstruct(&deployment);
+    let tc = er_report.outcome.test_case().expect("reproduced");
+    let x = u32::from_le_bytes(tc.inputs[0].1[..4].try_into().unwrap());
+    assert_eq!(x % 100, 42, "equivalent input class");
+    assert!(tc.verify(&program).reproduced());
+}
+
+#[test]
+fn rept_degrades_on_overwritten_state_while_er_replays_exactly() {
+    // Each iteration consumes fresh input into the *same* registers, so by
+    // crash time the old values are gone from both registers and the ring
+    // (overwritten every 16 iterations): the exact overwriting the paper
+    // blames for REPT's decay. The crash itself depends only on the final
+    // input word, so ER's reconstruction stays cheap.
+    let src = r#"
+        global RING: [u32; 16];
+        fn main() {
+            let acc: u32 = 0;
+            for i: u32 = 0; i < 3000; i = i + 1 {
+                let v: u32 = input_u32(0);
+                acc = (acc ^ v) * 2654435761;
+                RING[i % 16] = acc;
+            }
+            let last: u32 = input_u32(0);
+            if last % 97 == 13 { abort("boom"); }
+            print(acc);
+        }
+    "#;
+    let mk_env = || {
+        let mut env = Env::new();
+        for i in 0..3000u32 {
+            env.push_input(0, &(i.wrapping_mul(2654435761)).to_le_bytes());
+        }
+        env.push_input(0, &(13u32).to_le_bytes());
+        env
+    };
+    let program = compile(src).unwrap();
+    let tape = ConcreteTape::record(&program, mk_env(), 200_000).unwrap();
+    assert!(tape.faulted);
+    let report = ReptAnalysis::default().analyze(&tape, 30_000);
+    assert!(
+        report.degraded_rate() > 0.15,
+        "overwritten inputs defeat reverse recovery: {report:?}"
+    );
+
+    // ER on the same failure: complete, verified reproduction.
+    let deployment = er::core::Deployment::new(program.clone(), move |_| mk_env());
+    let er_report = er::core::Reconstructor::default().reconstruct(&deployment);
+    assert!(er_report.reproduced(), "{:?}", er_report.outcome);
+}

@@ -1,0 +1,249 @@
+//! End-to-end integration tests: the full ER pipeline across crates.
+
+use er::core::deploy::Deployment;
+use er::core::reconstruct::{ErConfig, Outcome, Reconstructor};
+use er::core::select::SelectorKind;
+use er::minilang::compile;
+use er::minilang::env::Env;
+use er::minilang::error::FailureKind;
+use er::solver::solve::Budget;
+use er::symex::SymConfig;
+
+fn deploy(src: &str, gen: impl Fn(u64) -> Env + 'static) -> Deployment {
+    Deployment::new(compile(src).expect("test program compiles"), gen)
+}
+
+#[test]
+fn reconstructs_arithmetic_failure_and_verifies_replay() {
+    let d = deploy(
+        r#"
+        fn main() {
+            let a: u32 = input_u32(0);
+            let b: u32 = input_u32(0);
+            if a * a + b == 1234 {
+                abort("hit");
+            }
+            print(a);
+        }
+        "#,
+        |run| {
+            let mut env = Env::new();
+            let a = (run % 64) as u32;
+            let b = if run % 9 == 5 { 1234 - a * a } else { 7 };
+            env.push_input(0, &a.to_le_bytes());
+            env.push_input(0, &b.to_le_bytes());
+            env
+        },
+    );
+    let report = Reconstructor::default().reconstruct(&d);
+    let Outcome::Reproduced(tc) = &report.outcome else {
+        panic!("expected reproduction, got {:?}", report.outcome);
+    };
+    assert!(tc.verify(d.program()).reproduced());
+    assert_eq!(tc.expected.fault.kind(), FailureKind::Abort);
+}
+
+#[test]
+fn latent_heap_corruption_reproduces() {
+    // The overflow happens long before the crash; the failure site is an
+    // allocator-header check, REPT-style recovery would have lost the
+    // overflowing values by then.
+    let d = deploy(
+        r#"
+        fn main() {
+            let n: u32 = input_u32(0);
+            let buf: u64 = alloc(32);
+            let hdr: u64 = alloc(8);
+            store64(hdr, 777);
+            for i: u32 = 0; i < (n & 63); i = i + 1 {
+                store8(buf + (i as u64), 66);
+            }
+            let h: u64 = 0;
+            for i: u32 = 0; i < 5000; i = i + 1 {
+                h = h + (i as u64);
+            }
+            print(h);
+            let magic: u64 = load64(hdr);
+            assert(magic == 777, "heap corrupted");
+        }
+        "#,
+        |run| {
+            let mut env = Env::new();
+            let n: u32 = if run % 4 == 3 { 40 } else { 16 };
+            env.push_input(0, &n.to_le_bytes());
+            env
+        },
+    );
+    let report = Reconstructor::default().reconstruct(&d);
+    let Outcome::Reproduced(tc) = &report.outcome else {
+        panic!("expected reproduction, got {:?}", report.outcome);
+    };
+    assert!(tc.verify(d.program()).reproduced());
+    // The generated length must overflow the 32-byte buffer into the header.
+    let n = u32::from_le_bytes(tc.inputs[0].1[..4].try_into().unwrap());
+    assert!(n & 63 > 32, "generated n={n} must overflow");
+}
+
+#[test]
+fn iterative_loop_records_and_converges() {
+    let d = deploy(
+        r#"
+        global IDX: [u64; 512];
+        fn main() {
+            let a: u64 = input_u64(0);
+            let b: u64 = input_u64(0);
+            let i: u64 = a & 511;
+            let j: u64 = b & 511;
+            IDX[i] = 9;
+            if IDX[j] == 9 {
+                abort("aliased");
+            }
+            print(i);
+        }
+        "#,
+        |run| {
+            let mut env = Env::new();
+            let a = run.wrapping_mul(2654435761) | 1;
+            let b = if run % 6 == 1 { a } else { a ^ 2 };
+            env.push_input(0, &a.to_le_bytes());
+            env.push_input(0, &b.to_le_bytes());
+            env
+        },
+    );
+    let config = ErConfig {
+        sym: SymConfig {
+            solver_budget: Budget::small(),
+            max_steps: 50_000_000,
+            always_concretize: false,
+        },
+        final_budget: Budget::small(),
+        ..ErConfig::default()
+    };
+    let report = Reconstructor::new(config).reconstruct(&d);
+    assert!(report.reproduced(), "{:?}", report.outcome);
+    assert!(report.occurrences >= 2, "must have stalled at least once");
+    assert!(report.iterations[0].stalled.is_some());
+    assert!(report.iterations[0].sites_selected > 0);
+    let tc = report.outcome.test_case().unwrap();
+    // The generated inputs must alias: a & 511 == b & 511.
+    let a = u64::from_le_bytes(tc.inputs[0].1[..8].try_into().unwrap());
+    let b = u64::from_le_bytes(tc.inputs[0].1[8..16].try_into().unwrap());
+    assert_eq!(a & 511, b & 511, "generated keys must alias");
+}
+
+#[test]
+fn multithreaded_use_after_free_reproduces() {
+    let d = deploy(
+        r#"
+        global SLOT: u64;
+        fn consumer() {
+            let p: u64 = SLOT;
+            let s: u64 = 0;
+            for i: u64 = 0; i < 300; i = i + 1 { s = s + 1; }
+            free(p);
+            print(s);
+        }
+        fn main() {
+            let key: u64 = input_u64(0);
+            SLOT = alloc(16);
+            let t: u64 = spawn consumer();
+            let d: u64 = 0;
+            for i: u64 = 0; i < 900; i = i + 1 { d = d + 1; }
+            print(d);
+            if (key & 7) == 3 {
+                store64(SLOT, 1);
+            }
+            join(t);
+        }
+        "#,
+        |run| {
+            let mut env = Env::new();
+            env.push_input(0, &run.to_le_bytes());
+            env
+        },
+    );
+    let report = Reconstructor::default().reconstruct(&d);
+    let Outcome::Reproduced(tc) = &report.outcome else {
+        panic!("expected reproduction, got {:?}", report.outcome);
+    };
+    assert_eq!(tc.expected.fault.kind(), FailureKind::MemoryCorruption);
+    assert!(tc.verify(d.program()).reproduced());
+}
+
+#[test]
+fn random_selection_fails_where_key_value_succeeds() {
+    // A two-key aliasing bug plus decoy inputs: random recording wastes its
+    // budget, key-value selection converges.
+    let src = r#"
+        global DECOYS: [u64; 64];
+        global TBL: [u64; 512];
+        fn main() {
+            DECOYS[0] = input_u64(2) ^ 1;
+            DECOYS[1] = input_u64(2) ^ 2;
+            DECOYS[2] = input_u64(2) ^ 3;
+            DECOYS[3] = input_u64(2) ^ 4;
+            DECOYS[4] = input_u64(2) ^ 5;
+            DECOYS[5] = input_u64(2) ^ 6;
+            DECOYS[6] = input_u64(2) ^ 7;
+            DECOYS[7] = input_u64(2) ^ 8;
+            DECOYS[8] = input_u64(2) ^ 9;
+            DECOYS[9] = input_u64(2) ^ 10;
+            DECOYS[10] = input_u64(2) ^ 11;
+            DECOYS[11] = input_u64(2) ^ 12;
+            let a: u64 = input_u64(0) & 511;
+            let b: u64 = input_u64(0) & 511;
+            TBL[a] = 6;
+            if TBL[b] == 6 { abort("hit"); }
+            print(a);
+        }
+    "#;
+    let gen = |run: u64| {
+        let mut env = Env::new();
+        for i in 0..12u64 {
+            env.push_input(2, &(run ^ (i << 40) | 1).to_le_bytes());
+        }
+        let a = run.wrapping_mul(97) | 1;
+        let b = if run % 5 == 2 { a } else { a ^ 2 };
+        env.push_input(0, &a.to_le_bytes());
+        env.push_input(0, &b.to_le_bytes());
+        env
+    };
+    let tight = |selector| ErConfig {
+        sym: SymConfig {
+            solver_budget: Budget::small(),
+            max_steps: 50_000_000,
+            always_concretize: false,
+        },
+        final_budget: Budget::small(),
+        selector,
+        max_occurrences: 3,
+        ..ErConfig::default()
+    };
+    let kv = Reconstructor::new(tight(SelectorKind::KeyValue)).reconstruct(&deploy(src, gen));
+    assert!(kv.reproduced(), "{:?}", kv.outcome);
+
+    let mut random_successes = 0;
+    for seed in 0..3 {
+        let r =
+            Reconstructor::new(tight(SelectorKind::Random { seed })).reconstruct(&deploy(src, gen));
+        if r.reproduced() {
+            random_successes += 1;
+        }
+    }
+    assert!(
+        random_successes < 3,
+        "random selection should usually miss the key values"
+    );
+}
+
+#[test]
+fn deployment_without_failures_gives_up_cleanly() {
+    let d = deploy("fn main() { print(1); }", |_| Env::new());
+    let config = ErConfig {
+        max_runs_per_occurrence: 10,
+        ..ErConfig::default()
+    };
+    let report = Reconstructor::new(config).reconstruct(&d);
+    assert!(!report.reproduced());
+    assert_eq!(report.occurrences, 0);
+}
