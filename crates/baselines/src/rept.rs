@@ -288,6 +288,11 @@ impl ConcreteTape {
             let excess = entries.len() - window;
             entries.drain(..excess);
         }
+        if er_telemetry::enabled() {
+            // Batched per tape: the recording loop above stays bare.
+            er_telemetry::counter!("rept.tape_steps").add(steps);
+            er_telemetry::counter!("rept.tape_entries").add(entries.len() as u64);
+        }
         Ok(ConcreteTape {
             entries,
             final_regs,
@@ -382,6 +387,7 @@ impl ReptAnalysis {
     /// last `window` entries of `tape` and grades the result against ground
     /// truth.
     pub fn analyze(&self, tape: &ConcreteTape, window: usize) -> ReptReport {
+        let _span = er_telemetry::span!("rept.analyze");
         let start = tape.entries.len().saturating_sub(window);
         let entries = &tape.entries[start..];
         let mut values: Vec<Option<u64>> = vec![None; entries.len()];

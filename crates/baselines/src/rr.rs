@@ -149,6 +149,7 @@ impl TraceSink for RrRecorder {
     fn input(&mut self, event: &InputEvent) {
         // Syscall interception: enter the supervisor, copy and checksum the
         // buffer, serialize the event record.
+        er_telemetry::counter!("rr.inputs_intercepted").incr();
         self.supervisor_entry();
         self.hash_bytes(&event.bytes.clone());
         self.log.trace_bytes += 16 + event.bytes.len() as u64;
@@ -160,6 +161,7 @@ impl TraceSink for RrRecorder {
     }
 
     fn clock_read(&mut self, value: u64) {
+        er_telemetry::counter!("rr.clocks_intercepted").incr();
         self.supervisor_entry();
         self.log.trace_bytes += 9;
         self.log.events.push(RrEvent::Clock(value));
@@ -168,6 +170,7 @@ impl TraceSink for RrRecorder {
     fn thread_resume(&mut self, tid: u64, tsc: u64) {
         // Every preemption goes through the supervisor: perf-counter read,
         // context save, scheduling bookkeeping.
+        er_telemetry::counter!("rr.schedules_intercepted").incr();
         self.supervisor_entry();
         self.supervisor_entry();
         self.log.trace_bytes += 17;

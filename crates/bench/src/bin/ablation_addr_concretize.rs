@@ -38,7 +38,8 @@ fn main() {
             ..w.er_config()
         };
         let conc = Reconstructor::new(config).reconstruct(&w.deployment(Scale::TEST));
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  {}: symbolic occ={} ({}) | concretize occ={} ({})",
             w.name,
             sym.occurrences,
@@ -118,7 +119,8 @@ fn main() {
         .reconstruct(&Deployment::new(fig3.clone(), fig3_gen));
     let conc =
         Reconstructor::new(fig3_config(true)).reconstruct(&Deployment::new(fig3.clone(), fig3_gen));
-    eprintln!(
+    er_telemetry::log!(
+        info,
         "  Fig. 3: symbolic occ={} ({}) | concretize occ={} ({})",
         sym.occurrences,
         sym.reproduced(),

@@ -30,7 +30,8 @@ fn main() {
                     max_instrs: 500_000_000,
                 });
             let report = Reconstructor::new(w.er_config()).reconstruct(&deployment);
-            eprintln!(
+            er_telemetry::log!(
+                info,
                 "  {} quantum={quantum}: reproduced={} occ={}",
                 w.name,
                 report.reproduced(),

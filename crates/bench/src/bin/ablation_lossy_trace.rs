@@ -48,7 +48,7 @@ fn main() {
                 ShepherdStatus::Diverged(_) => diverged += 1,
             }
         }
-        eprintln!("  drop {drop}/1000: follows {completed}/{trials}");
+        er_telemetry::log!(info, "  drop {drop}/1000: follows {completed}/{trials}");
         rows_out.push(Row {
             drop_per_mille: drop,
             trials,

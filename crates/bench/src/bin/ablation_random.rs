@@ -55,7 +55,8 @@ fn main() {
                 }
             }
         }
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  {}: key-value {} | random {}/{}",
             w.name,
             if kv.reproduced() { "ok" } else { "FAIL" },

@@ -66,7 +66,8 @@ fn main() {
             })
             .sum();
         let set = select::select_key_values(&graph, &input);
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  {}: bottleneck {} elems / {} B -> recording {} sites / {} B",
             w.name,
             graph.bottleneck.len(),

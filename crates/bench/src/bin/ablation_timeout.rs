@@ -48,7 +48,8 @@ fn main() {
             ..w.er_config()
         };
         let report = Reconstructor::new(config).reconstruct(&w.deployment(Scale::TEST));
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  cells={cells} conflicts={conflicts}: occ={} {}",
             report.occurrences,
             fmt_duration(report.total_symbex)

@@ -74,7 +74,7 @@ fn main() {
             pcts.push(overhead_pct(t_base, t_er));
         }
         let s = stats(&pcts);
-        eprintln!("  {label}: {:+.2}% ± {:.2}", s.mean, s.stderr);
+        er_telemetry::log!(info, "  {label}: {:+.2}% ± {:.2}", s.mean, s.stderr);
         rows_out.push(Row {
             buffer: label.to_string(),
             bytes,

@@ -52,7 +52,8 @@ fn main() {
     if report.iterations.len() > 1 {
         iter2.extend(report.iterations[1].new_sites.clone());
     }
-    eprintln!(
+    er_telemetry::log!(
+        info,
         "selected sites: iteration1 {} iteration2 {}",
         iter1.len(),
         iter2.len()
@@ -93,7 +94,8 @@ fn main() {
         )
         .expect("trace decodes");
         let stalled = !matches!(rep.run.status, er_symex::ShepherdStatus::Completed);
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  {label}: {} ({} work units{})",
             fmt_duration(rep.wall),
             rep.run.stats.work_units,

@@ -106,9 +106,12 @@ fn main() {
     let mut rows_out = Vec::new();
     for w in all() {
         let row = bench_workload(&w, scale, reps);
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  {}: ER {:+.2}% rr {:+.2}%",
-            row.name, row.er_overhead_pct.mean, row.rr_overhead_pct.mean
+            row.name,
+            row.er_overhead_pct.mean,
+            row.rr_overhead_pct.mean
         );
         rows_out.push(row);
     }

@@ -1,0 +1,168 @@
+//! Replays the telemetry journal into a per-phase time/effort table
+//! (the §5.3 offline-overhead breakdown).
+//!
+//! Run a bench binary with `ER_TELEMETRY=full` first, e.g.
+//! `ER_TELEMETRY=full cargo run -p er-bench --bin table1 -- --test`,
+//! then `cargo run -p er-bench --bin obs_report`. Reads every
+//! `er-journal-*.jsonl` under `ER_TELEMETRY_DIR` (default `telemetry/`).
+//!
+//! Usage: `obs_report [journal-dir-or-file]`
+
+use er_bench::harness::{fmt_duration, print_table, write_json};
+use er_telemetry::Event;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Pipeline phases in reporting order, with the span that accounts for
+/// each. These mirror the per-iteration spans opened by
+/// `er-core::reconstruct` and `er-core::shepherd`.
+const PHASES: &[(&str, &str)] = &[
+    ("decode", "shepherd.decode"),
+    ("symbex", "shepherd.symbex"),
+    ("solve", "shepherd.solve"),
+    ("select", "phase.select"),
+    ("instrument", "phase.instrument"),
+    ("deploy", "phase.deploy"),
+];
+
+/// Effort counters summarized alongside the time breakdown.
+const EFFORT: &[&str] = &[
+    "symex.steps",
+    "sat.conflicts",
+    "sat.propagations",
+    "pt.packets_encoded",
+    "ring.overwrites",
+    "select.graph_nodes",
+];
+
+#[derive(Default, Serialize)]
+struct WorkloadReport {
+    name: String,
+    iterations: u64,
+    phase_ns: BTreeMap<String, u64>,
+    effort: BTreeMap<String, u64>,
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let source = arg.map(PathBuf::from).unwrap_or_else(|| {
+        PathBuf::from(std::env::var("ER_TELEMETRY_DIR").unwrap_or_else(|_| "telemetry".into()))
+    });
+
+    let events: Vec<Event> = if source.is_file() {
+        er_telemetry::read_journal(&source)
+    } else {
+        er_telemetry::journal::read_journal_dir(&source)
+    }
+    .unwrap_or_else(|e| {
+        er_telemetry::log!(error, "{e}");
+        er_telemetry::log!(
+            error,
+            "hint: generate a journal with `ER_TELEMETRY=full cargo run -p er-bench --bin table1 -- --test`"
+        );
+        std::process::exit(1);
+    });
+
+    if events.is_empty() {
+        er_telemetry::log!(error, "no span events found under {source:?}");
+        std::process::exit(1);
+    }
+
+    // Group span durations by (workload ctx, phase) and sum effort
+    // counters attributed to each workload's spans.
+    let mut by_workload: BTreeMap<String, WorkloadReport> = BTreeMap::new();
+    for ev in &events {
+        if ev.kind != "span" {
+            continue;
+        }
+        let ctx = if ev.ctx.is_empty() {
+            "(untagged)".to_string()
+        } else {
+            ev.ctx.clone()
+        };
+        let rep = by_workload
+            .entry(ctx.clone())
+            .or_insert_with(|| WorkloadReport {
+                name: ctx,
+                ..WorkloadReport::default()
+            });
+        if let Some((label, _)) = PHASES.iter().find(|(_, span)| *span == ev.name) {
+            *rep.phase_ns.entry((*label).to_string()).or_default() += ev.dur_ns;
+        }
+        // A span's counter deltas include those of its children, so sum
+        // effort only over the sibling per-iteration spans — each unit of
+        // work is counted exactly once.
+        if ev.name == "reconstruct.iteration" {
+            rep.iterations += 1;
+            for (cname, v) in &ev.counters {
+                if EFFORT.contains(&cname.as_str()) {
+                    *rep.effort.entry(cname.clone()).or_default() += v;
+                }
+            }
+        }
+    }
+
+    let reports: Vec<&WorkloadReport> = by_workload.values().collect();
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let total: u64 = r.phase_ns.values().sum();
+            let mut row = vec![r.name.clone(), r.iterations.to_string()];
+            for (label, _) in PHASES {
+                let ns = r.phase_ns.get(*label).copied().unwrap_or(0);
+                row.push(fmt_duration(Duration::from_nanos(ns)));
+            }
+            row.push(fmt_duration(Duration::from_nanos(total)));
+            row
+        })
+        .collect();
+
+    print_table(
+        "Per-phase reconstruction time (from telemetry journal)",
+        &[
+            "Workload",
+            "Iters",
+            "Decode",
+            "Symbex",
+            "Solve",
+            "Select",
+            "Instrument",
+            "Deploy",
+            "Total",
+        ],
+        &rows,
+    );
+
+    let effort_rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.name.clone()];
+            for c in EFFORT {
+                row.push(r.effort.get(*c).copied().unwrap_or(0).to_string());
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Per-workload effort counters",
+        &[
+            "Workload",
+            "Symex Steps",
+            "SAT Conflicts",
+            "SAT Props",
+            "PT Packets",
+            "Ring Overwrites",
+            "Graph Nodes",
+        ],
+        &effort_rows,
+    );
+
+    println!(
+        "{} workloads, {} span events",
+        reports.len(),
+        events.iter().filter(|e| e.kind == "span").count()
+    );
+    write_json("obs_report", &reports);
+}

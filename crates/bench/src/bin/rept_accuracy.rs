@@ -60,7 +60,8 @@ fn main() {
             break;
         }
         let r = rept.analyze(&tape, window);
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  window {window}: correct {:.1}% wrong {:.1}% unknown {:.1}%",
             r.correct_rate() * 100.0,
             100.0 * r.wrong as f64 / r.total.max(1) as f64,

@@ -36,6 +36,9 @@ fn main() {
 
     let mut rows_out: Vec<Row> = Vec::new();
     for w in all() {
+        // Tag telemetry events with the workload so obs_report can group
+        // the journal per Table-1 row.
+        er_telemetry::set_context(w.name);
         let deployment = w.deployment(scale);
         let report = Reconstructor::new(w.er_config()).reconstruct(&deployment);
         let last = report.iterations.last();
@@ -58,13 +61,15 @@ fn main() {
             trace_bytes: last.map(|i| i.trace_bytes).unwrap_or(0),
             recorded_bytes_final: last.map(|i| i.recorded_bytes).unwrap_or(0),
         });
-        eprintln!(
+        er_telemetry::log!(
+            info,
             "  {} done: reproduced={} occ={}",
             w.name,
             report.reproduced(),
             report.occurrences
         );
     }
+    er_telemetry::set_context("");
 
     let rows: Vec<Vec<String>> = rows_out
         .iter()

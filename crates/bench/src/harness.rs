@@ -62,20 +62,27 @@ pub fn overhead_pct(baseline: f64, measured: f64) -> f64 {
     (measured / baseline - 1.0) * 100.0
 }
 
-/// Writes `value` as pretty JSON to `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("results");
+/// Writes `value` as pretty JSON to `<dir>/<name>.json`, where `<dir>`
+/// is `$ER_RESULTS_DIR` (default `results`). Returns the written path,
+/// or `None` if serialization or the write failed.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var("ER_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
     let _ = fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(s) => {
             if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
+                er_telemetry::log!(warn, "could not write {}: {e}", path.display());
+                None
             } else {
-                eprintln!("(wrote {})", path.display());
+                er_telemetry::log!(info, "(wrote {})", path.display());
+                Some(path)
             }
         }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        Err(e) => {
+            er_telemetry::log!(warn, "could not serialize {name}: {e}");
+            None
+        }
     }
 }
 
@@ -123,6 +130,20 @@ mod tests {
     fn overhead_math() {
         assert!((overhead_pct(2.0, 3.0) - 50.0).abs() < 1e-9);
         assert_eq!(overhead_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn write_json_honors_results_dir_override() {
+        // Use a subdirectory of the target dir so parallel tests in other
+        // processes (which read ER_RESULTS_DIR at call time) are unaffected.
+        let dir = std::env::temp_dir().join(format!("er-results-test-{}", std::process::id()));
+        std::env::set_var("ER_RESULTS_DIR", &dir);
+        let path = write_json("harness_selftest", &vec![1u64, 2, 3]).expect("write succeeds");
+        std::env::remove_var("ER_RESULTS_DIR");
+        assert!(path.starts_with(&dir));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains('1') && text.contains('3'));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

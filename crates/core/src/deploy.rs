@@ -145,7 +145,9 @@ impl Deployment {
     ) -> Option<FailureOccurrence> {
         for run in start_run..start_run + max_runs {
             let (outcome, trace, instr_count) = self.run_once(inst, run);
+            er_telemetry::counter!("deploy.runs").incr();
             if let RunOutcome::Failure(f) = outcome {
+                er_telemetry::counter!("deploy.failures").incr();
                 let original = inst.failure_to_original(&f);
                 if target.is_none_or(|t| original.same_failure(t)) {
                     let pt_stats = trace.stats;

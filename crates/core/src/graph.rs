@@ -176,6 +176,10 @@ impl ConstraintGraph {
         // Deterministic order for downstream processing.
         bottleneck.sort_by_key(|b| b.expr);
 
+        if er_telemetry::enabled() {
+            er_telemetry::counter!("select.graph_nodes").add(pool.len() as u64);
+            er_telemetry::counter!("select.array_nodes").add(n_arrays as u64);
+        }
         ConstraintGraph {
             node_count: pool.len(),
             array_node_count: n_arrays,

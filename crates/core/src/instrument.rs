@@ -31,6 +31,10 @@ impl InstrumentedProgram {
     /// (original-program coordinates). Sites without a destination register
     /// are skipped — there is no value to record.
     pub fn new(program: &Program, sites: &[InstrId]) -> InstrumentedProgram {
+        if er_telemetry::enabled() {
+            er_telemetry::counter!("instrument.rebuilds").incr();
+            er_telemetry::counter!("instrument.sites_requested").add(sites.len() as u64);
+        }
         let mut program = program.clone();
         let mut to_original = HashMap::new();
         let mut from_original = HashMap::new();

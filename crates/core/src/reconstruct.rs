@@ -159,6 +159,12 @@ impl Reconstructor {
 
     /// Reconstructs the first failure the deployment produces.
     pub fn reconstruct(&self, deployment: &Deployment) -> ReconstructionReport {
+        // IterationStats are derived from telemetry counter snapshots (one
+        // source of truth), so collection must be live even when the user
+        // asked for no telemetry output; the guard raises `off` to
+        // `counters` for the duration of this call only.
+        let _counters = er_telemetry::ensure_counters();
+        let _span = er_telemetry::span!("reconstruct");
         let mut sites: Vec<InstrId> = Vec::new();
         let mut target: Option<Failure> = None;
         let mut next_run = 0u64;
@@ -192,17 +198,25 @@ impl Reconstructor {
         }
 
         for occurrence in (warmup_consumed + 1)..=self.config.max_occurrences {
-            let inst = if sites.is_empty() {
-                InstrumentedProgram::unmodified(deployment.program())
-            } else {
-                InstrumentedProgram::new(deployment.program(), &sites)
+            let _iter_span = er_telemetry::span!("reconstruct.iteration");
+            let inst = {
+                let _s = er_telemetry::span!("phase.instrument");
+                if sites.is_empty() {
+                    InstrumentedProgram::unmodified(deployment.program())
+                } else {
+                    InstrumentedProgram::new(deployment.program(), &sites)
+                }
             };
-            let Some(occ) = deployment.run_until_failure(
-                &inst,
-                target.as_ref(),
-                next_run,
-                self.config.max_runs_per_occurrence,
-            ) else {
+            let deployed = {
+                let _s = er_telemetry::span!("phase.deploy");
+                deployment.run_until_failure(
+                    &inst,
+                    target.as_ref(),
+                    next_run,
+                    self.config.max_runs_per_occurrence,
+                )
+            };
+            let Some(occ) = deployed else {
                 return self.give_up(
                     GiveUpReason::NoFailureObserved,
                     occurrence - 1,
@@ -216,6 +230,10 @@ impl Reconstructor {
                 target = Some(occ.failure.clone());
             }
 
+            // Counter deltas around the shepherded execution are the single
+            // source of truth for per-iteration effort: the same numbers
+            // feed IterationStats here and the journal's span events.
+            let snap_before = er_telemetry::local_snapshot();
             let report = match shepherd::shepherd(
                 &inst.program,
                 &occ.trace,
@@ -233,6 +251,7 @@ impl Reconstructor {
                     )
                 }
             };
+            let shepherd_delta = er_telemetry::local_snapshot().delta(&snap_before);
             total_symbex += report.wall;
             let mut run = report.run;
             let mut stats = IterationStats {
@@ -241,8 +260,8 @@ impl Reconstructor {
                 instr_count: occ.instr_count,
                 trace_bytes: occ.pt_stats.bytes,
                 symbex_wall: report.wall,
-                symbex_steps: run.stats.steps,
-                solver_work: run.stats.work_units,
+                symbex_steps: shepherd_delta.get("symex.steps"),
+                solver_work: shepherd_delta.get("solver.work_units"),
                 stalled: None,
                 graph_nodes: run.pool.len(),
                 longest_chain: run.longest_chain,
@@ -309,7 +328,10 @@ impl Reconstructor {
 
             // Key data value selection on the constraint graph, with ids
             // translated back to original program coordinates.
-            let set = self.select(&run, &inst, occurrence);
+            let set = {
+                let _s = er_telemetry::span!("phase.select");
+                self.select(&run, &inst, occurrence)
+            };
             let new_sites: Vec<InstrId> = set
                 .site_ids()
                 .into_iter()

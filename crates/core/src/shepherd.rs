@@ -35,7 +35,10 @@ pub fn shepherd(
     failure: Option<&Failure>,
     config: SymConfig,
 ) -> Result<ShepherdReport, er_pt::DecodeError> {
-    let decoded = trace.decode()?;
+    let decoded = {
+        let _span = er_telemetry::span!("shepherd.decode");
+        trace.decode()?
+    };
     Ok(shepherd_events(program, &decoded.events, failure, config))
 }
 
@@ -46,6 +49,7 @@ pub fn shepherd_events(
     failure: Option<&Failure>,
     config: SymConfig,
 ) -> ShepherdReport {
+    let _span = er_telemetry::span!("shepherd.symbex");
     let start = Instant::now();
     let run = SymMachine::new(program, config).run(events, failure);
     ShepherdReport {
@@ -76,6 +80,7 @@ pub fn solve_inputs(
     run: &mut SymRunResult,
     budget: &Budget,
 ) -> Result<Vec<(u32, Vec<u8>)>, SolveFailure> {
+    let _span = er_telemetry::span!("shepherd.solve");
     let assertions: Vec<_> = run
         .path
         .iter()

@@ -73,6 +73,11 @@ impl RingBuffer {
         self.written > self.capacity as u64
     }
 
+    /// Number of bytes lost to overwriting (0 until the ring wraps).
+    pub fn overwrites(&self) -> u64 {
+        self.written.saturating_sub(self.capacity as u64)
+    }
+
     /// The retained bytes, oldest first.
     pub fn snapshot(&self) -> Vec<u8> {
         if !self.wrapped() {
@@ -111,6 +116,7 @@ mod tests {
         assert!(r.wrapped());
         assert_eq!(r.snapshot(), vec![3, 4, 5, 6]);
         assert_eq!(r.total_written(), 6);
+        assert_eq!(r.overwrites(), 2);
     }
 
     #[test]

@@ -125,11 +125,21 @@ impl PtSink {
     /// Finalizes the trace: flushes pending TNT bits and snapshots the ring.
     pub fn finish(mut self) -> PtTrace {
         self.flush_tnt();
-        PtTrace {
+        let trace = PtTrace {
             wrapped: self.ring.wrapped(),
             bytes: self.ring.snapshot(),
             stats: self.stats,
+        };
+        if er_telemetry::enabled() {
+            // Batched per trace so the per-packet emit path stays bare.
+            er_telemetry::counter!("pt.packets_encoded").add(self.stats.packets);
+            er_telemetry::counter!("pt.trace_bytes").add(trace.bytes.len() as u64);
+            er_telemetry::counter!("ring.overwrites").add(self.ring.overwrites());
+            if trace.wrapped {
+                er_telemetry::counter!("pt.wrapped_traces").incr();
+            }
         }
+        trace
     }
 
     /// Tracing counters so far.
@@ -202,6 +212,7 @@ impl PtTrace {
     /// Returns a [`DecodeError`] if the stream is corrupt or a wrapped
     /// stream contains no sync point.
     pub fn decode(&self) -> Result<DecodedTrace, DecodeError> {
+        let _span = er_telemetry::span!("pt.decode");
         let (packets, gap) = if self.wrapped {
             let at = codec::resync(&self.bytes, 0).ok_or(DecodeError::NoSyncPoint)?;
             (codec::decode_from(&self.bytes, at)?, true)
@@ -228,6 +239,10 @@ impl PtTrace {
                 Packet::Tsc { tsc } => events.push(TraceEvent::Timestamp(*tsc)),
                 Packet::Pge { tid } => events.push(TraceEvent::ThreadResume(*tid)),
             }
+        }
+        if er_telemetry::enabled() {
+            er_telemetry::counter!("pt.packets_decoded").add(packets.len() as u64);
+            er_telemetry::counter!("pt.events_decoded").add(events.len() as u64);
         }
         Ok(DecodedTrace { events })
     }

@@ -415,6 +415,22 @@ impl SatSolver {
 
     /// Runs the search with at most `max_conflicts` conflicts.
     pub fn solve(&mut self, max_conflicts: u64) -> SatOutcome {
+        let before = self.stats;
+        let outcome = self.solve_inner(max_conflicts);
+        if er_telemetry::enabled() {
+            // Batch the per-search deltas so the search loop itself stays
+            // free of instrumentation.
+            er_telemetry::counter!("sat.conflicts").add(self.stats.conflicts - before.conflicts);
+            er_telemetry::counter!("sat.decisions").add(self.stats.decisions - before.decisions);
+            er_telemetry::counter!("sat.propagations")
+                .add(self.stats.propagations - before.propagations);
+            er_telemetry::counter!("sat.restarts").add(self.stats.restarts - before.restarts);
+            er_telemetry::counter!("sat.learned").add(self.stats.learned - before.learned);
+        }
+        outcome
+    }
+
+    fn solve_inner(&mut self, max_conflicts: u64) -> SatOutcome {
         if !self.ok {
             return SatOutcome::Unsat;
         }
@@ -433,6 +449,7 @@ impl SatSolver {
                     return SatOutcome::Unsat;
                 }
                 let (learned, backjump) = self.analyze(conflict);
+                er_telemetry::histogram!("sat.learned_len").record(learned.len() as u64);
                 self.backtrack(backjump);
                 self.stats.learned += 1;
                 if learned.len() == 1 {

@@ -209,6 +209,23 @@ impl<'p> Solver<'p> {
     }
 
     fn check_with(&mut self, assertions: &[ExprRef], budget: &Budget) -> SatResult {
+        let _span = er_telemetry::span!("solver.query");
+        let result = self.check_with_inner(assertions, budget);
+        if er_telemetry::enabled() {
+            // One batched update per query: the lowering pipeline above
+            // runs uninstrumented.
+            er_telemetry::counter!("solver.queries").incr();
+            er_telemetry::counter!("solver.work_units").add(self.last_stats.work_units());
+            er_telemetry::counter!("solver.array_cells").add(self.last_stats.array_cells);
+            er_telemetry::counter!("solver.cnf_clauses").add(self.last_stats.cnf_clauses as u64);
+            if matches!(result, SatResult::Unknown(_)) {
+                er_telemetry::counter!("solver.stalls").incr();
+            }
+        }
+        result
+    }
+
+    fn check_with_inner(&mut self, assertions: &[ExprRef], budget: &Budget) -> SatResult {
         self.last_stats = SolveStats::default();
         // Fast path: constant-folded assertions.
         let mut pending = Vec::new();

@@ -129,6 +129,13 @@ pub struct SymStats {
     pub symbolic_accesses: u64,
     /// Recorded (PTW) values bound.
     pub ptw_bound: u64,
+    /// Symbolic branch conditions resolved by the trace instead of
+    /// forking (the paper's "shepherded" path explosions).
+    pub forks_shepherded: u64,
+    /// Memory load instructions executed.
+    pub mem_reads: u64,
+    /// Memory store instructions executed.
+    pub mem_writes: u64,
 }
 
 /// Everything a shepherded run produces; the ER core consumes this for
@@ -273,6 +280,17 @@ impl<'p> SymMachine<'p> {
             Err(Stop::Diverge(d)) => (ShepherdStatus::Diverged(d), None),
         };
         let longest_chain = self.mem.longest_write_chain(&self.pool);
+        if er_telemetry::enabled() {
+            // One batched update per shepherded run; the step loop carries
+            // only plain field increments.
+            er_telemetry::counter!("symex.steps").add(self.stats.steps);
+            er_telemetry::counter!("symex.solver_queries").add(self.stats.solver_queries);
+            er_telemetry::counter!("symex.forks_shepherded").add(self.stats.forks_shepherded);
+            er_telemetry::counter!("symex.mem_reads").add(self.stats.mem_reads);
+            er_telemetry::counter!("symex.mem_writes").add(self.stats.mem_writes);
+            er_telemetry::counter!("symex.ptw_bound").add(self.stats.ptw_bound);
+            er_telemetry::histogram!("symex.write_chain_len").record(longest_chain);
+        }
         SymRunResult {
             status,
             pool: self.pool,
@@ -673,6 +691,7 @@ impl<'p> SymMachine<'p> {
                 self.set_reg(*dst, r, at);
             }
             Instr::Load { dst, addr, width } => {
+                self.stats.mem_reads += 1;
                 let a = self.operand(*addr);
                 let target = self.resolve_addr(a, *width, at)?;
                 let v = match target {
@@ -692,6 +711,7 @@ impl<'p> SymMachine<'p> {
                 self.set_reg(*dst, v, at);
             }
             Instr::Store { addr, value, width } => {
+                self.stats.mem_writes += 1;
                 let a = self.operand(*addr);
                 let v = self.operand(*value);
                 let target = self.resolve_addr(a, *width, at)?;
@@ -1006,6 +1026,7 @@ impl<'p> SymMachine<'p> {
                         }
                     }
                     SymValue::Sym(e) => {
+                        self.stats.forks_shepherded += 1;
                         let nz = self.pool.nonzero(e);
                         let constraint = if taken { nz } else { self.pool.not(nz) };
                         self.push_constraint(constraint);

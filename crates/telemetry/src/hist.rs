@@ -1,0 +1,245 @@
+//! Process-wide named histograms with power-of-two buckets.
+//!
+//! Recording is lock-free: each histogram is an array of relaxed
+//! `AtomicU64` buckets plus atomic count/sum/min/max. Unlike counters,
+//! histograms are process-global (not per-thread) — they feed offline
+//! distribution reports, not per-iteration deltas.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of power-of-two buckets; bucket `i` holds values whose bit
+/// length is `i` (bucket 0 = value 0, bucket 1 = 1, bucket 2 = 2..=3, …),
+/// with the top bucket also absorbing 64-bit values.
+pub const BUCKETS: usize = 64;
+
+fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Lock-free recorder for one named histogram.
+pub struct AtomicHist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHist {
+    fn new() -> Self {
+        AtomicHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Reads the current distribution.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram reading; merging is associative and
+/// commutative with [`HistSnapshot::empty`] as identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// The identity element for [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records into a plain snapshot (test/merge-model use).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Combines two distributions.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Mean observed value, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<(&'static str, &'static AtomicHist)>> {
+    static R: OnceLock<Mutex<Vec<(&'static str, &'static AtomicHist)>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Finds or allocates the recorder for `name`. Called once per
+/// `histogram!` callsite (cached).
+pub fn register(name: &'static str) -> &'static AtomicHist {
+    let mut reg = registry().lock().unwrap();
+    if let Some((_, h)) = reg.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let h: &'static AtomicHist = Box::leak(Box::new(AtomicHist::new()));
+    reg.push((name, h));
+    h
+}
+
+/// All registered histograms as `(name, snapshot)` pairs.
+pub fn all_snapshots() -> Vec<(&'static str, HistSnapshot)> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, h)| (*n, h.snapshot()))
+        .collect()
+}
+
+/// A cheap, copyable reference to one histogram callsite.
+#[derive(Clone, Copy)]
+pub struct Handle {
+    cell: &'static OnceLock<&'static AtomicHist>,
+    name: &'static str,
+}
+
+impl Handle {
+    /// Used by the `histogram!` macro.
+    #[doc(hidden)]
+    pub fn from_cache(cell: &'static OnceLock<&'static AtomicHist>, name: &'static str) -> Self {
+        Handle { cell, name }
+    }
+
+    /// Records one observation. Disabled mode: one atomic load and a
+    /// branch.
+    #[inline(always)]
+    pub fn record(self, v: u64) {
+        if crate::enabled() {
+            self.record_slow(v);
+        }
+    }
+
+    #[inline(never)]
+    fn record_slow(self, v: u64) {
+        if crate::mode() == crate::Mode::Off {
+            return;
+        }
+        self.cell.get_or_init(|| register(self.name)).record(v);
+    }
+}
+
+/// References one named histogram, caching the registry lookup per
+/// callsite.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __ER_HIST_SLOT: ::std::sync::OnceLock<&'static $crate::hist::AtomicHist> =
+            ::std::sync::OnceLock::new();
+        $crate::hist::Handle::from_cache(&__ER_HIST_SLOT, $name)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = HistSnapshot::empty();
+        let mut b = HistSnapshot::empty();
+        let mut all = HistSnapshot::empty();
+        for v in [0, 1, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3, 1000] {
+            b.record(v);
+            all.record(v);
+        }
+        assert_eq!(a.merge(&b), all);
+        assert_eq!(b.merge(&a), all);
+        assert_eq!(a.merge(&HistSnapshot::empty()), a);
+    }
+
+    #[test]
+    fn atomic_recorder_round_trips() {
+        let _l = crate::counters::test_mutex().lock().unwrap();
+        crate::set_mode(crate::Mode::Counters);
+        let h = histogram!("test.hist.roundtrip");
+        h.record(7);
+        h.record(9);
+        let snap = all_snapshots()
+            .into_iter()
+            .find(|(n, _)| *n == "test.hist.roundtrip")
+            .map(|(_, s)| s)
+            .unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 16);
+        assert_eq!(snap.min, 7);
+        assert_eq!(snap.max, 9);
+        crate::set_mode(crate::Mode::Off);
+    }
+}

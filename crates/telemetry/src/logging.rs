@@ -1,0 +1,120 @@
+//! Leveled, environment-filtered logging to stderr.
+//!
+//! The threshold comes from `ER_LOG` (`error`, `warn`, `info`, `debug`;
+//! default `info`). Messages above the threshold cost one relaxed atomic
+//! load and a compare.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or wrong-result conditions.
+    Error = 0,
+    /// Degraded behavior worth surfacing.
+    Warn = 1,
+    /// Progress and milestones (default threshold).
+    Info = 2,
+    /// Per-step detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case label used in output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+const LEVEL_UNINIT: u8 = 0xff;
+static THRESHOLD: AtomicU8 = AtomicU8::new(LEVEL_UNINIT);
+
+#[cold]
+fn init_threshold() -> u8 {
+    let t = match std::env::var("ER_LOG").as_deref() {
+        Ok("error") => Level::Error,
+        Ok("warn") => Level::Warn,
+        Ok("debug") => Level::Debug,
+        _ => Level::Info,
+    } as u8;
+    THRESHOLD.store(t, Ordering::Relaxed);
+    t
+}
+
+/// Whether messages at `level` pass the `ER_LOG` filter.
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    let t = THRESHOLD.load(Ordering::Relaxed);
+    let t = if t == LEVEL_UNINIT {
+        init_threshold()
+    } else {
+        t
+    };
+    (level as u8) <= t
+}
+
+/// Overrides the threshold (tests).
+pub fn set_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// Writes one formatted line to stderr.
+#[doc(hidden)]
+pub fn write_line(level: Level, msg: std::fmt::Arguments<'_>) {
+    eprintln!("[{}] {}", level.label(), msg);
+}
+
+/// Logs a formatted message at the given level (`error`, `warn`,
+/// `info`, or `debug`), filtered by `ER_LOG`.
+///
+/// ```
+/// er_telemetry::log!(info, "reconstructed {} of {} workloads", 13, 15);
+/// ```
+#[macro_export]
+macro_rules! log {
+    (error, $($arg:tt)*) => { $crate::__log_at!($crate::logging::Level::Error, $($arg)*) };
+    (warn,  $($arg:tt)*) => { $crate::__log_at!($crate::logging::Level::Warn,  $($arg)*) };
+    (info,  $($arg:tt)*) => { $crate::__log_at!($crate::logging::Level::Info,  $($arg)*) };
+    (debug, $($arg:tt)*) => { $crate::__log_at!($crate::logging::Level::Debug, $($arg)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __log_at {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::logging::level_enabled($level) {
+            $crate::logging::write_line($level, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_orders_levels() {
+        set_level(Level::Warn);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(level_enabled(Level::Info));
+    }
+
+    #[test]
+    fn log_macro_compiles_at_every_level() {
+        set_level(Level::Error);
+        crate::log!(error, "e {}", 1);
+        crate::log!(warn, "w");
+        crate::log!(info, "i");
+        crate::log!(debug, "d");
+        set_level(Level::Info);
+    }
+}

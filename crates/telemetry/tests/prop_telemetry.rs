@@ -1,0 +1,111 @@
+//! Property tests for the telemetry layer: histogram merge algebra, span
+//! stack discipline, and journal serialization.
+
+use er_telemetry::hist::HistSnapshot;
+use er_telemetry::journal::Event;
+use er_telemetry::{span, Mode};
+use proptest::prelude::*;
+
+fn hist_strategy() -> impl Strategy<Value = HistSnapshot> {
+    // Bounded so sums over merged snapshots stay far from u64 overflow
+    // while still exercising every power-of-two bucket.
+    prop::collection::vec(0u64..(u64::MAX >> 10), 0..32).prop_map(|vs| {
+        let mut h = HistSnapshot::empty();
+        for v in vs {
+            h.record(v);
+        }
+        h
+    })
+}
+
+proptest! {
+    /// `merge` is associative: merging snapshots from different threads
+    /// or journal shards must not depend on reduction order.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in hist_strategy(),
+        b in hist_strategy(),
+        c in hist_strategy(),
+    ) {
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// `empty()` is the identity of `merge`, on both sides.
+    #[test]
+    fn histogram_empty_is_merge_identity(h in hist_strategy()) {
+        prop_assert_eq!(h.merge(&HistSnapshot::empty()), h.clone());
+        prop_assert_eq!(HistSnapshot::empty().merge(&h), h);
+    }
+
+    /// Merging preserves the total count and sum.
+    #[test]
+    fn histogram_merge_preserves_totals(a in hist_strategy(), b in hist_strategy()) {
+        let m = a.merge(&b);
+        prop_assert_eq!(m.count, a.count + b.count);
+        prop_assert_eq!(m.sum, a.sum + b.sum);
+    }
+
+    /// Nested spans close strictly LIFO: the depth observed inside each
+    /// nesting level matches its position, and everything unwinds to the
+    /// starting depth.
+    #[test]
+    fn span_nesting_closes_lifo(depth in 1usize..12) {
+        let _l = er_telemetry::counters::test_mutex().lock().unwrap();
+        er_telemetry::set_mode(Mode::Counters);
+        let base = er_telemetry::span::current_depth();
+        fn nest(remaining: usize, base: usize) {
+            let _g = span!("prop.nest");
+            assert_eq!(er_telemetry::span::current_depth(), base + 1);
+            if remaining > 1 {
+                nest(remaining - 1, base + 1);
+            }
+            // After the child closed, our own depth is intact.
+            assert_eq!(er_telemetry::span::current_depth(), base + 1);
+        }
+        nest(depth, base);
+        prop_assert_eq!(er_telemetry::span::current_depth(), base);
+        er_telemetry::set_mode(Mode::Off);
+    }
+
+    /// Journal events survive a JSONL round trip bit-for-bit.
+    #[test]
+    fn journal_event_round_trips(
+        ts_ns in any::<u64>(),
+        name_seed in 0usize..6,
+        ctx_seed in 0usize..4,
+        has_parent in any::<bool>(),
+        depth in any::<u32>(),
+        dur_ns in any::<u64>(),
+        counters in prop::collection::vec((0usize..8, any::<u64>()), 0..6),
+    ) {
+        let names = [
+            "shepherd.decode", "shepherd.symbex", "shepherd.solve",
+            "phase.select", "phase.instrument", "phase.deploy",
+        ];
+        let ctxs = ["", "Libpng-2004-0597", "Apache-25520", "with \"quotes\" & \\slashes\\"];
+        let cnames = [
+            "sat.conflicts", "sat.propagations", "symex.steps",
+            "pt.packets_encoded", "ring.overwrites", "select.graph_nodes",
+            "deploy.runs", "solver.queries",
+        ];
+        let ev = Event {
+            ts_ns,
+            kind: "span".to_string(),
+            name: names[name_seed].to_string(),
+            ctx: ctxs[ctx_seed].to_string(),
+            parent: has_parent.then(|| "reconstruct.iteration".to_string()),
+            depth,
+            dur_ns,
+            counters: counters
+                .into_iter()
+                .map(|(i, v)| (cnames[i].to_string(), v))
+                .collect(),
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        prop_assert!(!line.contains('\n'), "JSONL events must be single lines");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(back, ev);
+    }
+}

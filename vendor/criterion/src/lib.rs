@@ -1,0 +1,244 @@
+//! A minimal, dependency-free stand-in for `criterion`, vendored so the
+//! workspace's micro-benchmarks run in fully offline environments.
+//!
+//! Measures wall-clock time per iteration (after a warm-up phase) and
+//! prints one line per benchmark:
+//!
+//! ```text
+//! bench pt/branches/encode_100k_branches ... 1.2345 ms/iter (81.0 Melem/s)
+//! ```
+//!
+//! There is no statistical analysis, HTML report, or baseline comparison;
+//! the numbers are indicative, which is all the offline harness needs.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate unit attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Mean time per iteration from the measurement phase.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `inner`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut inner: R) {
+        // Warm-up: run until ~50ms elapses to stabilize caches/branch
+        // predictors, and learn how many iterations fit the budget.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(inner());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Measurement: aim for ~200ms of timed work in one batch so
+        // per-iteration Instant overhead is amortized (crucial for
+        // sub-nanosecond routines).
+        let target = 0.2_f64;
+        let iters = ((target / per_iter).ceil() as u64).clamp(1, 1_000_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(inner());
+        }
+        self.elapsed_per_iter = start.elapsed().div_f64(iters as f64);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us/iter", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+fn format_rate(per_iter: Duration, throughput: Option<Throughput>) -> String {
+    let Some(tp) = throughput else {
+        return String::new();
+    };
+    let secs = per_iter.as_secs_f64();
+    if secs <= 0.0 {
+        return String::new();
+    }
+    let (count, unit) = match tp {
+        Throughput::Elements(n) => (n as f64, "elem"),
+        Throughput::Bytes(n) => (n as f64, "B"),
+    };
+    let rate = count / secs;
+    if rate >= 1e9 {
+        format!(" ({:.1} G{unit}/s)", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!(" ({:.1} M{unit}/s)", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!(" ({:.1} K{unit}/s)", rate / 1e3)
+    } else {
+        format!(" ({rate:.1} {unit}/s)")
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "bench {label} ... {}{}",
+        format_duration(b.elapsed_per_iter),
+        format_rate(b.elapsed_per_iter, throughput)
+    );
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-rate reported next to each result.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; mirrors criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A harness with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, None, |b| f(b));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each listed benchmark fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+///
+/// Honors cargo's bench/test plumbing: under `cargo test` (which passes
+/// `--test`), benchmarks are skipped so the suite stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                println!("(criterion shim: skipping benches under test mode)");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut measured = Duration::ZERO;
+        run_one("self_test", None, |b| {
+            b.iter(|| black_box(1u64).wrapping_mul(3));
+            measured = b.elapsed_per_iter;
+        });
+        assert!(measured > Duration::ZERO);
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert!(format_duration(Duration::from_nanos(5)).contains("ns/iter"));
+        assert!(format_duration(Duration::from_micros(5)).contains("us/iter"));
+        assert!(format_duration(Duration::from_millis(5)).contains("ms/iter"));
+        let rate = format_rate(Duration::from_nanos(10), Some(Throughput::Elements(100)));
+        assert!(rate.contains("elem/s"), "{rate}");
+    }
+}

@@ -1,0 +1,525 @@
+//! A minimal, dependency-free stand-in for `proptest`, vendored so the
+//! workspace's property tests run in fully offline environments.
+//!
+//! Each `proptest!` test runs its body against `cases` deterministic
+//! pseudo-random inputs (seeded from the test's name, so failures are
+//! stable across runs). There is no shrinking: a failing case reports its
+//! case number and the generated inputs' `Debug` form where available.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xorshift* PRNG used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded from `name` (stable across runs and platforms).
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name, mixed so short names diverge.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Object-safe strategy facade so heterogeneous strategies can be boxed
+/// (the combinator methods on [`Strategy`] make it non-object-safe).
+pub trait StrategyObj<T> {
+    /// Generates one value.
+    fn gen_boxed(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> StrategyObj<S::Value> for S {
+    fn gen_boxed(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// Boxes a strategy for use in [`Union`] (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn StrategyObj<S::Value>> {
+    Box::new(s)
+}
+
+/// `prop_map` adapter.
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn StrategyObj<T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; must be nonempty.
+    pub fn new(arms: Vec<Box<dyn StrategyObj<T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].gen_boxed(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Types with a canonical random generator (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward small magnitudes half the time: uniform
+                // 64-bit values almost never exercise carry/boundary-free
+                // paths, and real proptest biases similarly.
+                let raw = rng.next_u64();
+                if raw & 1 == 0 {
+                    (raw >> 1) as $t
+                } else {
+                    (rng.below(256)) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated strings readable.
+        char::from_u32(0x20 + (rng.below(0x5f)) as u32).unwrap_or('?')
+    }
+}
+
+/// `any::<T>()` strategy.
+#[derive(Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary + Debug> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary + Debug>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// The `prop::` namespace (collection and sample strategies).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Size bounds for generated collections.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// Generates `Vec`s of `elem` with a size drawn from `size`.
+        #[derive(Debug)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// A strategy for vectors of `elem` values.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64 + 1;
+                let n = self.size.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.gen_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::{Arbitrary, TestRng};
+
+        /// An index into a collection of as-yet-unknown size.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Projects onto `[0, len)`; `len` must be nonzero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// A failed or rejected test case (mirrors proptest's type so bodies can
+/// `return Err(TestCaseError::fail(..))`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold; the message explains why.
+    Fail(String),
+    /// The generated case is invalid and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property-test functions (see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                let __guard = $crate::CaseReporter {
+                    test: stringify!($name),
+                    case: __case,
+                };
+                // The closure lets bodies use proptest's Result form
+                // (`return Err(TestCaseError::fail(..))`); plain bodies
+                // fall through to the trailing Ok.
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                match __result {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err(e) => panic!("{e}"),
+                }
+                ::std::mem::forget(__guard);
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Prints which generated case failed when a property panics.
+#[doc(hidden)]
+pub struct CaseReporter {
+    /// Test name.
+    pub test: &'static str,
+    /// 0-based case number.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        // Only reached when the case body panicked (success paths
+        // `mem::forget` the reporter).
+        eprintln!(
+            "proptest: {} failed at deterministic case {} (re-run reproduces it)",
+            self.test, self.case
+        );
+    }
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in 5u64..=9, n in any::<u8>()) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            let _ = n;
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![Just(1u8), Just(2), (3u8..10).prop_map(|v| v)],
+        ) {
+            prop_assert!((1..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = super::TestRng::deterministic("seed");
+        let mut b = super::TestRng::deterministic("seed");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! The input grammar is deliberately small — exactly what this workspace
+//! derives on: non-generic structs (named, tuple, or unit) and non-generic
+//! enums whose variants are unit, tuple, or struct-like. Enums use serde's
+//! externally-tagged representation (`"Variant"`, `{"Variant": ...}`).
+//! Parsing walks the raw `TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline); generation builds Rust source as a string and
+//! re-parses it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple arity.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + bracket group
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc: skip the parenthesized scope.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses named fields `{ attrs vis name: Type, ... }` into field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!("serde_derive: expected field name, got {:?}", tokens.get(i));
+        };
+        fields.push(name.to_string());
+        // Skip past the type: everything up to a top-level comma. Generic
+        // angle brackets never contain commas at punct-depth 0 in the
+        // types this shim supports (e.g. `Vec<u8>`), except multi-param
+        // generics — track `<`/`>` depth to be safe.
+        i += 2; // name + ':'
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts tuple fields in `( Type, Type, ... )`.
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        arity += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    arity
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic types (deriving on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_arity(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = tokens.get(i) else {
+                panic!("serde_derive: expected enum body");
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body_tokens.len() {
+                j = skip_attrs_and_vis(&body_tokens, j);
+                let Some(TokenTree::Ident(vname)) = body_tokens.get(j) else {
+                    panic!(
+                        "serde_derive: expected variant name, got {:?}",
+                        body_tokens.get(j)
+                    );
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let fields = match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        Fields::Tuple(parse_tuple_arity(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Discriminant values (`Variant = 3`) are unsupported.
+                if matches!(body_tokens.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    panic!("serde_derive shim: explicit discriminants unsupported on `{name}`");
+                }
+                if matches!(body_tokens.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive on `{other}`"),
+    }
+}
+
+/// `#[derive(Serialize)]`: renders the type into a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            out.push_str(&serialize_fields_expr("self", fields, None));
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pairs: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out.parse().expect("serde_derive: generated code parses")
+}
+
+fn serialize_fields_expr(receiver: &str, fields: &Fields, _variant: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "        ::serde::Value::Null\n".to_string(),
+        Fields::Named(fs) => {
+            let pairs: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "            (\"{f}\".to_string(), ::serde::Serialize::to_value(&{receiver}.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "        ::serde::Value::Object(vec![\n{}\n        ])\n",
+                pairs.join("\n")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("        ::serde::Serialize::to_value(&{receiver}.0)\n")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&{receiver}.{k})"))
+                .collect();
+            format!(
+                "        ::serde::Value::Array(vec![{}])\n",
+                elems.join(", ")
+            )
+        }
+    }
+}
+
+/// `#[derive(Deserialize)]`: rebuilds the type from a `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str(&format!("        let _ = v;\n        Ok({name})\n")),
+                Fields::Named(fs) => {
+                    out.push_str(&format!(
+                        "        let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n        Ok({name} {{\n"
+                    ));
+                    for f in fs {
+                        out.push_str(&format!(
+                            "            {f}: ::serde::field(obj, \"{f}\")?,\n"
+                        ));
+                    }
+                    out.push_str("        })\n");
+                }
+                Fields::Tuple(1) => out.push_str(&format!(
+                    "        Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+                )),
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "        let arr = v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n        if arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}\")); }}\n        Ok({name}(\n"
+                    ));
+                    for k in 0..*n {
+                        out.push_str(&format!(
+                            "            ::serde::Deserialize::from_value(&arr[{k}])?,\n"
+                        ));
+                    }
+                    out.push_str("        ))\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        if let Some(s) = v.as_str() {{\n            return match s {{\n"
+            ));
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!("                \"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "                other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n            }};\n        }}\n"
+            ));
+            out.push_str(&format!(
+                "        let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected string or object for {name}\"))?;\n        let (tag, inner) = obj.first().ok_or_else(|| ::serde::DeError::new(\"empty object for {name}\"))?;\n        match tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            \"{vn}\" => {{ let _ = inner; Ok({name}::{vn}) }}\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            \"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&arr[{k}])?")
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            \"{vn}\" => {{\n                let arr = inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n                if arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}::{vn}\")); }}\n                Ok({name}::{vn}({}))\n            }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let pairs: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(iobj, \"{f}\")?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            \"{vn}\" => {{\n                let iobj = inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vn}\"))?;\n                Ok({name}::{vn} {{ {} }})\n            }}\n",
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "            other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out.parse().expect("serde_derive: generated code parses")
+}
