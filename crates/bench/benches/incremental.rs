@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the PR-2 incremental solver: repeated
+//! `check_assuming` against a shared growing constraint prefix — the exact
+//! query pattern shepherded symbolic execution issues at every symbolic
+//! memory access — on one persistent engine vs a fresh solve per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_solver::expr::{BvOp, CmpKind, ExprPool, ExprRef};
+use er_solver::inc::IncrementalSolver;
+use er_solver::solve::Budget;
+
+/// A shepherding-shaped workload: a write chain over a medium array plus a
+/// stack of bitvector path constraints, probed with per-access assumptions.
+fn build(pool: &mut ExprPool, prefix_len: usize) -> (Vec<ExprRef>, Vec<ExprRef>) {
+    let mut arr = pool.array("V", 256, 8, None);
+    for i in 0..8u64 {
+        let idx = pool.var(format!("w{i}"), 64);
+        let val = pool.bv_const(i, 8);
+        arr = pool.write(arr, idx, val);
+    }
+    let j = pool.var("j", 64);
+    let r = pool.read(arr, j);
+    let zero = pool.bv_const(0, 8);
+    let mut prefix = vec![pool.cmp(CmpKind::Eq, r, zero)];
+    let x = pool.var("x", 32);
+    let y = pool.var("y", 32);
+    for i in 0..prefix_len as u64 {
+        let k = pool.bv_const(i.wrapping_mul(2654435761) & 0xffff, 32);
+        let t = pool.bin(BvOp::Add, x, k);
+        prefix.push(pool.cmp(CmpKind::Ule, t, y));
+    }
+    let probes = (0..16u64)
+        .map(|i| {
+            let k = pool.bv_const(i * 3 + 1, 64);
+            pool.cmp(CmpKind::Ult, j, k)
+        })
+        .collect();
+    (prefix, probes)
+}
+
+fn bench_repeated_check_assuming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental/repeated_check_assuming");
+    for &prefix_len in &[4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("shared", prefix_len),
+            &prefix_len,
+            |b, &n| {
+                b.iter(|| {
+                    let mut pool = ExprPool::new();
+                    let (prefix, probes) = build(&mut pool, n);
+                    let mut inc = IncrementalSolver::new();
+                    for &p in &probes {
+                        let _ = inc.check_assuming(&mut pool, &prefix, &[p], &Budget::default());
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fresh", prefix_len),
+            &prefix_len,
+            |b, &n| {
+                b.iter(|| {
+                    let mut pool = ExprPool::new();
+                    let (prefix, probes) = build(&mut pool, n);
+                    for &p in &probes {
+                        let mut fresh = IncrementalSolver::new();
+                        let _ = fresh.check_assuming(&mut pool, &prefix, &[p], &Budget::default());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repeated_check_assuming);
+criterion_main!(benches);

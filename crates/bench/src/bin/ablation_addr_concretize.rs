@@ -106,6 +106,7 @@ fn main() {
             },
             max_steps: 10_000_000,
             always_concretize,
+            ..SymConfig::default()
         },
         final_budget: er_solver::solve::Budget {
             max_conflicts: 50_000,

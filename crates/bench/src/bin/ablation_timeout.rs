@@ -42,6 +42,7 @@ fn main() {
                 solver_budget: budget,
                 max_steps: 500_000_000,
                 always_concretize: false,
+                ..SymConfig::default()
             },
             final_budget: budget,
             max_occurrences: 32,

@@ -1,0 +1,135 @@
+//! The PR-2 performance artifact: runs the Table-1 sweep and the Fig.-5
+//! series at test scale in both the optimized mode (incremental solver +
+//! checkpoint resume + worker pool) and the sequential uncached baseline,
+//! and writes `BENCH_PR2.json` with wall-clock, solver work, and symbex
+//! steps per workload. The committed copy under `results/` is the
+//! baseline future runs are compared against.
+//!
+//! Usage: `bench_summary [--full] [--serial] [--skip-baseline]`
+
+use er_bench::harness::{fmt_duration, print_table, time_once, write_json};
+use er_bench::rows::{fig5_series, table1_rows, Fig5Series, RowOptions, Table1Row};
+use er_workloads::Scale;
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct ModeSummary {
+    wall_seconds_total: f64,
+    rows: Vec<Table1Row>,
+}
+
+#[derive(Serialize)]
+struct BenchSummary {
+    scale: &'static str,
+    serial: bool,
+    optimized: ModeSummary,
+    baseline: Option<ModeSummary>,
+    speedup_wall: Option<f64>,
+    fig5: Vec<Fig5Series>,
+}
+
+fn sweep(opts: RowOptions) -> ModeSummary {
+    let (rows, wall) = time_once(|| table1_rows(opts));
+    ModeSummary {
+        wall_seconds_total: wall.as_secs_f64(),
+        rows,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let serial = args.iter().any(|a| a == "--serial");
+    let skip_baseline = args.iter().any(|a| a == "--skip-baseline");
+    let scale = if full { Scale::FULL } else { Scale::TEST };
+
+    println!(
+        "# PR-2 bench summary (scale: {})",
+        if full { "full" } else { "test" }
+    );
+
+    let optimized = sweep(RowOptions {
+        scale,
+        serial,
+        baseline: false,
+    });
+    let baseline = (!skip_baseline).then(|| {
+        sweep(RowOptions {
+            scale,
+            serial: true,
+            baseline: true,
+        })
+    });
+    let speedup_wall = baseline
+        .as_ref()
+        .map(|b| b.wall_seconds_total / optimized.wall_seconds_total.max(1e-9));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for r in &optimized.rows {
+        let base = baseline
+            .as_ref()
+            .and_then(|b| b.rows.iter().find(|x| x.name == r.name));
+        rows.push(vec![
+            r.name.clone(),
+            fmt_duration(Duration::from_secs_f64(r.wall_seconds)),
+            base.map(|b| fmt_duration(Duration::from_secs_f64(b.wall_seconds)))
+                .unwrap_or_else(|| "-".into()),
+            r.solver_work_units.to_string(),
+            base.map(|b| b.solver_work_units.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.symbex_steps.to_string(),
+            base.map(|b| b.symbex_steps.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print_table(
+        "PR-2: incremental + checkpoint-resume vs sequential uncached baseline",
+        &[
+            "Workload",
+            "Wall (opt)",
+            "Wall (base)",
+            "Solver work (opt)",
+            "Solver work (base)",
+            "Symbex steps (opt)",
+            "Symbex steps (base)",
+        ],
+        &rows,
+    );
+    if let Some(s) = speedup_wall {
+        println!(
+            "Sweep wall: optimized {} vs baseline {} — {s:.2}x",
+            fmt_duration(Duration::from_secs_f64(optimized.wall_seconds_total)),
+            fmt_duration(Duration::from_secs_f64(
+                baseline.as_ref().unwrap().wall_seconds_total
+            )),
+        );
+    }
+
+    // Sanity: the optimization must not change reproduction results.
+    if let Some(b) = &baseline {
+        for (o, bz) in optimized.rows.iter().zip(&b.rows) {
+            assert_eq!(
+                o.deterministic_fields(),
+                bz.deterministic_fields(),
+                "optimized and baseline reproduction results diverged for {}",
+                o.name
+            );
+        }
+        println!("Reproduction results identical to baseline: yes");
+    }
+
+    let fig5 = fig5_series(scale);
+
+    write_json(
+        "BENCH_PR2",
+        &BenchSummary {
+            scale: if full { "full" } else { "test" },
+            serial,
+            optimized,
+            baseline,
+            speedup_wall,
+            fig5,
+        },
+    );
+}

@@ -13,25 +13,8 @@
 //! Usage: `fig5 [--full]`
 
 use er_bench::harness::{fmt_duration, print_table, write_json};
-use er_core::instrument::InstrumentedProgram;
-use er_core::shepherd;
-use er_core::Reconstructor;
-use er_minilang::ir::InstrId;
-use er_solver::solve::Budget;
-use er_symex::SymConfig;
-use er_workloads::{by_name, Scale};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Series {
-    label: String,
-    sites: usize,
-    steps: u64,
-    wall_seconds: f64,
-    solver_work_units: u64,
-    solver_queries: u64,
-    stalled: bool,
-}
+use er_bench::rows::fig5_series;
+use er_workloads::Scale;
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") {
@@ -39,77 +22,18 @@ fn main() {
     } else {
         Scale::TEST
     };
-    let w = by_name("PHP-74194").expect("registered");
     println!("# Fig. 5: benefit of recorded data values (PHP-74194)");
 
-    // Phase 1: run the normal reconstruction to learn which sites ER's
-    // first and second iterations selected.
-    let deployment = w.deployment(scale);
-    let report = Reconstructor::new(w.er_config()).reconstruct(&deployment);
-    assert!(report.reproduced(), "reconstruction must succeed first");
-    let iter1: Vec<InstrId> = report.iterations[0].new_sites.clone();
-    let mut iter2 = iter1.clone();
-    if report.iterations.len() > 1 {
-        iter2.extend(report.iterations[1].new_sites.clone());
-    }
-    er_telemetry::log!(
-        info,
-        "selected sites: iteration1 {} iteration2 {}",
-        iter1.len(),
-        iter2.len()
-    );
-
-    // Phase 2: shepherd the same failing run under each recording set with
-    // a no-stall budget.
-    let generous = SymConfig {
-        solver_budget: Budget {
-            max_conflicts: 5_000_000,
-            max_array_cells: 20_000_000,
-            max_clauses: 100_000_000,
-        },
-        max_steps: 2_000_000_000,
-        always_concretize: false,
-    };
-    let configs: [(&str, Vec<InstrId>); 3] = [
-        ("control-flow + no data values", vec![]),
-        ("control-flow + 1st-iteration data values", iter1),
-        ("control-flow + 2nd-iteration data values", iter2),
-    ];
-
-    let mut series = Vec::new();
-    for (label, sites) in configs {
-        let inst = if sites.is_empty() {
-            InstrumentedProgram::unmodified(deployment.program())
-        } else {
-            InstrumentedProgram::new(deployment.program(), &sites)
-        };
-        let occ = deployment
-            .run_until_failure(&inst, None, 0, 50_000)
-            .expect("workload fails");
-        let rep = shepherd::shepherd(
-            &inst.program,
-            &occ.trace,
-            Some(&occ.failure_instrumented),
-            generous,
-        )
-        .expect("trace decodes");
-        let stalled = !matches!(rep.run.status, er_symex::ShepherdStatus::Completed);
+    let series = fig5_series(scale);
+    for s in &series {
         er_telemetry::log!(
             info,
-            "  {label}: {} ({} work units{})",
-            fmt_duration(rep.wall),
-            rep.run.stats.work_units,
-            if stalled { ", STALLED" } else { "" }
+            "  {}: {} ({} work units{})",
+            s.label,
+            fmt_duration(std::time::Duration::from_secs_f64(s.wall_seconds)),
+            s.solver_work_units,
+            if s.stalled { ", STALLED" } else { "" }
         );
-        series.push(Series {
-            label: label.to_string(),
-            sites: inst.sites.len(),
-            steps: rep.run.stats.steps,
-            wall_seconds: rep.wall.as_secs_f64(),
-            solver_work_units: rep.run.stats.work_units,
-            solver_queries: rep.run.stats.solver_queries,
-            stalled,
-        });
     }
 
     let rows: Vec<Vec<String>> = series

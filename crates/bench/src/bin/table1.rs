@@ -3,73 +3,30 @@
 //! plus the §5.3 offline-overhead columns (largest constraint graph, trace
 //! bytes).
 //!
-//! Usage: `table1 [--test]` — `--test` runs the small-scale workloads.
+//! Usage: `table1 [--test] [--serial] [--baseline]` — `--test` runs the
+//! small-scale workloads, `--serial` disables the worker pool, and
+//! `--baseline` disables the incremental solver and checkpoint resume.
 
 use er_bench::harness::{fmt_duration, print_table, write_json};
-use er_core::Reconstructor;
-use er_workloads::{all, Scale};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    app: String,
-    bug_type: String,
-    multithreaded: bool,
-    instr_count: u64,
-    occurrences: u32,
-    expected_occurrences: u32,
-    symbex_seconds: f64,
-    reproduced: bool,
-    max_graph_nodes: usize,
-    trace_bytes: u64,
-    recorded_bytes_final: u64,
-}
+use er_bench::rows::{table1_rows, RowOptions};
+use er_workloads::Scale;
 
 fn main() {
-    let test_scale = std::env::args().any(|a| a == "--test");
-    let scale = if test_scale { Scale::TEST } else { Scale::FULL };
+    let args: Vec<String> = std::env::args().collect();
+    let test_scale = args.iter().any(|a| a == "--test");
+    let opts = RowOptions {
+        scale: if test_scale { Scale::TEST } else { Scale::FULL },
+        serial: args.iter().any(|a| a == "--serial"),
+        baseline: args.iter().any(|a| a == "--baseline"),
+    };
     println!(
-        "# Table 1 (scale: {})",
-        if test_scale { "test" } else { "full" }
+        "# Table 1 (scale: {}{}{})",
+        if test_scale { "test" } else { "full" },
+        if opts.serial { ", serial" } else { "" },
+        if opts.baseline { ", baseline" } else { "" },
     );
 
-    let mut rows_out: Vec<Row> = Vec::new();
-    for w in all() {
-        // Tag telemetry events with the workload so obs_report can group
-        // the journal per Table-1 row.
-        er_telemetry::set_context(w.name);
-        let deployment = w.deployment(scale);
-        let report = Reconstructor::new(w.er_config()).reconstruct(&deployment);
-        let last = report.iterations.last();
-        rows_out.push(Row {
-            name: w.name.to_string(),
-            app: w.app.to_string(),
-            bug_type: w.bug_type.to_string(),
-            multithreaded: w.multithreaded,
-            instr_count: last.map(|i| i.instr_count).unwrap_or(0),
-            occurrences: report.occurrences,
-            expected_occurrences: w.expected_occurrences,
-            symbex_seconds: report.total_symbex.as_secs_f64(),
-            reproduced: report.reproduced(),
-            max_graph_nodes: report
-                .iterations
-                .iter()
-                .map(|i| i.graph_nodes)
-                .max()
-                .unwrap_or(0),
-            trace_bytes: last.map(|i| i.trace_bytes).unwrap_or(0),
-            recorded_bytes_final: last.map(|i| i.recorded_bytes).unwrap_or(0),
-        });
-        er_telemetry::log!(
-            info,
-            "  {} done: reproduced={} occ={}",
-            w.name,
-            report.reproduced(),
-            report.occurrences
-        );
-    }
-    er_telemetry::set_context("");
+    let rows_out = table1_rows(opts);
 
     let rows: Vec<Vec<String>> = rows_out
         .iter()

@@ -1,3 +1,5 @@
-//! Shared helpers for the benchmark binaries live in the binaries
-//! themselves; this library exists to anchor Criterion bench targets.
+//! Shared infrastructure for the benchmark binaries: the worker-pool /
+//! JSON / table harness and the Table-1 / Fig.-5 row computations the
+//! binaries and the determinism regression tests share.
 pub mod harness;
+pub mod rows;

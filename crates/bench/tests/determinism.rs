@@ -1,0 +1,62 @@
+//! PR-2 regression: the performance machinery must not change results.
+//!
+//! Two properties, both at test scale over the full Table-1 sweep:
+//!
+//! 1. The parallel worker pool produces byte-identical rows to `--serial`
+//!    (wall-clock fields excluded — they are the only nondeterminism).
+//! 2. The incremental solver + checkpoint resume produce the same
+//!    reproduction results (occurrences, reproduced flags, recorded
+//!    bytes, trace bytes) as the sequential uncached baseline.
+
+use er_bench::rows::{table1_rows, RowOptions, Table1Row};
+use er_workloads::Scale;
+
+fn stable(rows: &[Table1Row]) -> Vec<String> {
+    rows.iter()
+        .map(|r| format!("{:?}", r.deterministic_fields()))
+        .collect()
+}
+
+#[test]
+fn parallel_rows_match_serial_rows() {
+    let parallel = table1_rows(RowOptions {
+        scale: Scale::TEST,
+        serial: false,
+        baseline: false,
+    });
+    let serial = table1_rows(RowOptions {
+        scale: Scale::TEST,
+        serial: true,
+        baseline: false,
+    });
+    assert_eq!(stable(&parallel), stable(&serial));
+    // The pool must not reorder rows either.
+    assert_eq!(
+        parallel.iter().map(|r| &r.name).collect::<Vec<_>>(),
+        serial.iter().map(|r| &r.name).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn incremental_mode_matches_uncached_baseline() {
+    let optimized = table1_rows(RowOptions {
+        scale: Scale::TEST,
+        serial: true,
+        baseline: false,
+    });
+    let baseline = table1_rows(RowOptions {
+        scale: Scale::TEST,
+        serial: true,
+        baseline: true,
+    });
+    assert_eq!(stable(&optimized), stable(&baseline));
+    for (o, b) in optimized.iter().zip(&baseline) {
+        assert!(o.reproduced == b.reproduced, "{} diverged", o.name);
+        assert_eq!(o.occurrences, b.occurrences, "{} occurrences", o.name);
+        assert_eq!(
+            o.recorded_bytes_final, b.recorded_bytes_final,
+            "{} recorded bytes",
+            o.name
+        );
+    }
+}

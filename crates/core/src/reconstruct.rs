@@ -15,8 +15,9 @@ use crate::shepherd::{self, SolveFailure};
 use crate::testcase::{TestCase, VerifyResult};
 use er_minilang::error::Failure;
 use er_minilang::ir::InstrId;
+use er_pt::TraceEvent;
 use er_solver::solve::Budget;
-use er_symex::{ShepherdStatus, SymConfig, TraceDivergence};
+use er_symex::{MachineState, ShepherdStatus, SymConfig, TraceDivergence};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -145,6 +146,64 @@ impl ReconstructionReport {
     }
 }
 
+/// Everything the driver retains from one shepherded occurrence so the
+/// next one can resume mid-trace instead of re-executing the shared
+/// prefix (the tentpole of the checkpoint/resume optimization): the
+/// decoded events (to find the longest common prefix with the new trace),
+/// the instrumentation that produced them (to remap instruction
+/// coordinates), and the machine snapshots taken along the way.
+#[derive(Debug)]
+struct ResumeCache {
+    events: Vec<TraceEvent>,
+    inst: InstrumentedProgram,
+    checkpoints: Vec<MachineState>,
+}
+
+/// Walks two event streams of the same program in lockstep and returns
+/// cursor-mapping ranges `(old_from, old_to, new_cursor)`: machine state at
+/// any old-trace cursor in `[old_from, old_to]` equals machine state at
+/// `new_cursor` in the new trace. The walk tolerates *scheduling noise* —
+/// timestamps, and a resume of the thread that is already running — which
+/// the production scheduler injects at per-run positions (quantum
+/// boundaries drift between runs) and which the symbolic machine skips
+/// without touching state. Everything else (branches, recorded values,
+/// real thread switches) must match exactly; the ranges stop at the first
+/// semantic difference.
+fn align_schedules(a: &[TraceEvent], b: &[TraceEvent]) -> Vec<(usize, usize, usize)> {
+    let noise = |ev: &TraceEvent, running: Option<u64>| match ev {
+        TraceEvent::Timestamp(_) => true,
+        TraceEvent::ThreadResume(t) => Some(*t) == running,
+        _ => false,
+    };
+    let mut ranges = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    // The tid last handed the CPU. A repeat resume of it is a quantum
+    // boundary: the interpreter cannot re-resume a *blocked* thread without
+    // an intervening switch to whoever unblocks it, so tracking the last
+    // resume is enough to classify without simulating thread states.
+    let mut running: Option<u64> = None;
+    loop {
+        let from = i;
+        while a.get(i).is_some_and(|ev| noise(ev, running)) {
+            i += 1;
+        }
+        while b.get(j).is_some_and(|ev| noise(ev, running)) {
+            j += 1;
+        }
+        ranges.push((from, i, j));
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) if x == y => {
+                if let TraceEvent::ThreadResume(t) = x {
+                    running = Some(*t);
+                }
+                i += 1;
+                j += 1;
+            }
+            _ => return ranges,
+        }
+    }
+}
+
 /// The ER analysis engine.
 #[derive(Debug, Clone, Default)]
 pub struct Reconstructor {
@@ -170,6 +229,7 @@ impl Reconstructor {
         let mut next_run = 0u64;
         let mut iterations: Vec<IterationStats> = Vec::new();
         let mut total_symbex = Duration::ZERO;
+        let mut prev: Option<ResumeCache> = None;
 
         // Optional unmonitored warm-up: confirm the failure actually
         // reoccurs before paying for always-on tracing.
@@ -230,30 +290,81 @@ impl Reconstructor {
                 target = Some(occ.failure.clone());
             }
 
+            let decoded = {
+                let _s = er_telemetry::span!("shepherd.decode");
+                match occ.trace.decode() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        return self.give_up(
+                            GiveUpReason::TraceDecode(e.to_string()),
+                            occurrence,
+                            iterations,
+                            total_symbex,
+                            target,
+                        )
+                    }
+                }
+            };
+            let events = decoded.events;
+
+            // Checkpoint resume: if a previous occurrence left snapshots and
+            // the new trace agrees with the old one on a prefix, pick the
+            // latest snapshot inside that prefix and remap its instruction
+            // coordinates from the old instrumentation to the new one
+            // (through original coordinates). A snapshot parked on an
+            // instruction that no longer exists remaps to `None` and the
+            // next-older one is tried.
+            let resume_state = prev
+                .as_ref()
+                .filter(|_| self.config.sym.checkpoint_every > 0)
+                .and_then(|cache| {
+                    let aligned = align_schedules(&cache.events, &events);
+                    cache
+                        .checkpoints
+                        .iter()
+                        .rev()
+                        .filter_map(|s| {
+                            let c = s.cursor();
+                            let &(_, _, new_cursor) = aligned
+                                .iter()
+                                .find(|&&(from, to, _)| from <= c && c <= to)?;
+                            Some((s, new_cursor))
+                        })
+                        .find_map(|(s, new_cursor)| {
+                            s.clone()
+                                .remap_sites(&inst.program, |id| {
+                                    cache.inst.to_original(id).map(|o| inst.from_original(o))
+                                })
+                                .map(|s| s.with_cursor(new_cursor))
+                        })
+                });
+
             // Counter deltas around the shepherded execution are the single
             // source of truth for per-iteration effort: the same numbers
             // feed IterationStats here and the journal's span events.
             let snap_before = er_telemetry::local_snapshot();
-            let report = match shepherd::shepherd(
-                &inst.program,
-                &occ.trace,
-                Some(&occ.failure_instrumented),
-                self.config.sym,
-            ) {
-                Ok(r) => r,
-                Err(e) => {
-                    return self.give_up(
-                        GiveUpReason::TraceDecode(e.to_string()),
-                        occurrence,
-                        iterations,
-                        total_symbex,
-                        target,
+            let report = match resume_state {
+                Some(state) => {
+                    er_telemetry::counter!("symex.checkpoint_resumes").incr();
+                    shepherd::shepherd_resume(
+                        &inst.program,
+                        &events,
+                        Some(&occ.failure_instrumented),
+                        self.config.sym,
+                        state,
                     )
                 }
+                None => shepherd::shepherd_events(
+                    &inst.program,
+                    &events,
+                    Some(&occ.failure_instrumented),
+                    self.config.sym,
+                ),
             };
             let shepherd_delta = er_telemetry::local_snapshot().delta(&snap_before);
             total_symbex += report.wall;
             let mut run = report.run;
+            let checkpoints = std::mem::take(&mut run.checkpoints);
             let mut stats = IterationStats {
                 occurrence,
                 run_index: occ.run_index,
@@ -321,6 +432,11 @@ impl Reconstructor {
                     // the coarse-interleaving hypothesis.
                     stats.stalled = Some(format!("diverged: {d:?}"));
                     iterations.push(stats);
+                    prev = Some(ResumeCache {
+                        events,
+                        inst,
+                        checkpoints,
+                    });
                     continue;
                 }
             };
@@ -353,6 +469,11 @@ impl Reconstructor {
             sites.extend(new_sites);
             sites.sort_unstable();
             sites.dedup();
+            prev = Some(ResumeCache {
+                events,
+                inst,
+                checkpoints,
+            });
         }
 
         self.give_up(
@@ -509,6 +630,7 @@ mod tests {
                 solver_budget: Budget::small(),
                 max_steps: 50_000_000,
                 always_concretize: false,
+                ..SymConfig::default()
             },
             final_budget: Budget::small(),
             ..ErConfig::default()
@@ -523,6 +645,86 @@ mod tests {
         assert!(report.iterations[0].stalled.is_some());
         assert!(report.iterations[0].sites_selected > 0);
         assert!(report.iterations[0].longest_chain > 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_fires_and_preserves_outcome() {
+        // A long input-independent crunch prefix (identical events across
+        // occurrences) followed by the aliasing stall: the second
+        // occurrence must resume from a snapshot inside the shared prefix,
+        // and the reproduction must be bit-identical to the uncached,
+        // checkpoint-free baseline.
+        let _l = er_telemetry::counters::test_mutex().lock().unwrap();
+        let src = r#"
+            global TBL: [u64; 2048];
+            fn main() {
+                let h: u64 = 1;
+                for k: u64 = 0; k < 300; k = k + 1 {
+                    if (h & 1) == 1 { h = h * 3 + 1; } else { h = h / 2 + k; }
+                }
+                let a: u64 = input_u64(0);
+                let b: u64 = input_u64(0);
+                let i: u64 = a & 2047;
+                let j: u64 = b & 2047;
+                TBL[i] = 41;
+                if TBL[j] == 41 { abort("aliased"); }
+                print(i + h);
+            }
+        "#;
+        let gen = |run: u64| {
+            let mut env = Env::new();
+            let a = run * 13 + 5;
+            let b = if run % 7 == 3 { a } else { a + 1 };
+            env.push_input(0, &a.to_le_bytes());
+            env.push_input(0, &b.to_le_bytes());
+            env
+        };
+        let run_with = |sym: SymConfig| {
+            let d = deploy(src, gen);
+            let config = ErConfig {
+                sym,
+                final_budget: Budget::small(),
+                ..ErConfig::default()
+            };
+            Reconstructor::new(config).reconstruct(&d)
+        };
+        let _g = er_telemetry::ensure_counters();
+        let before = er_telemetry::local_snapshot();
+        let optimized = run_with(SymConfig {
+            solver_budget: Budget::small(),
+            checkpoint_every: 64,
+            ..SymConfig::default()
+        });
+        let resumes = er_telemetry::local_snapshot()
+            .delta(&before)
+            .get("symex.checkpoint_resumes");
+        assert!(resumes > 0, "expected at least one checkpoint resume");
+        let baseline = run_with(SymConfig {
+            solver_budget: Budget::small(),
+            incremental_solver: false,
+            checkpoint_every: 0,
+            ..SymConfig::default()
+        });
+        assert!(optimized.reproduced(), "{:?}", optimized.outcome);
+        assert!(baseline.reproduced(), "{:?}", baseline.outcome);
+        assert_eq!(optimized.occurrences, baseline.occurrences);
+        assert_eq!(
+            optimized.outcome.test_case().unwrap().inputs,
+            baseline.outcome.test_case().unwrap().inputs
+        );
+        let summarize = |r: &ReconstructionReport| {
+            r.iterations
+                .iter()
+                .map(|it| {
+                    (
+                        it.recorded_bytes,
+                        it.new_sites.clone(),
+                        it.stalled.is_some(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(summarize(&optimized), summarize(&baseline));
     }
 
     #[test]

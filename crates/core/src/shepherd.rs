@@ -9,7 +9,7 @@ use er_minilang::error::Failure;
 use er_minilang::ir::Program;
 use er_pt::sink::PtTrace;
 use er_solver::solve::{Budget, SatResult, Solver, StallReason};
-use er_symex::{SymConfig, SymMachine, SymRunResult};
+use er_symex::{MachineState, SymConfig, SymMachine, SymRunResult};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -52,6 +52,27 @@ pub fn shepherd_events(
     let _span = er_telemetry::span!("shepherd.symbex");
     let start = Instant::now();
     let run = SymMachine::new(program, config).run(events, failure);
+    ShepherdReport {
+        run,
+        wall: start.elapsed(),
+        event_count: events.len(),
+    }
+}
+
+/// Follows already-decoded events symbolically, resuming from a snapshot
+/// taken on an earlier trace of the same program. The caller must have
+/// verified the event prefix up to `state.cursor()` is identical and
+/// remapped instruction sites if instrumentation changed.
+pub fn shepherd_resume(
+    program: &Program,
+    events: &[er_pt::TraceEvent],
+    failure: Option<&Failure>,
+    config: SymConfig,
+    state: MachineState,
+) -> ShepherdReport {
+    let _span = er_telemetry::span!("shepherd.symbex");
+    let start = Instant::now();
+    let run = SymMachine::resume(program, config, state).run(events, failure);
     ShepherdReport {
         run,
         wall: start.elapsed(),

@@ -55,163 +55,240 @@ pub fn eliminate(
     exprs: &[ExprRef],
     max_cells: u64,
 ) -> Result<(Vec<ExprRef>, ElimStats), ArrayBudgetExceeded> {
-    let mut elim = Eliminator {
-        pool,
-        cache: HashMap::new(),
-        base_reads: HashMap::new(),
-        axioms: Vec::new(),
-        stats: ElimStats::default(),
-        max_cells,
-    };
+    let mut elim = Eliminator::new();
     let mut out = Vec::with_capacity(exprs.len());
+    let mut axioms = Vec::new();
     for &e in exprs {
-        out.push(elim.rewrite(e)?);
+        out.push(elim.rewrite(pool, e, max_cells, &mut axioms)?);
     }
-    out.extend(elim.axioms);
-    Ok((out, elim.stats))
+    out.extend(axioms);
+    Ok((out, elim.stats()))
 }
 
-struct Eliminator<'p> {
-    pool: &'p mut ExprPool,
+/// Persistent array-elimination state, reusable across queries.
+///
+/// Rewrite results and the fresh variables minted for base reads are cached
+/// per [`ExprRef`] (the pool is hash-consed, so equal expressions share a
+/// ref), which means a growing constraint prefix is only ever lowered once.
+/// [`Eliminator::begin_scope`] / [`Eliminator::rollback_scope`] bracket
+/// *assumption-only* lowering: anything learned inside the scope (including
+/// the in-bounds axiom a base read emits, which is a real constraint on the
+/// index) is undone so it cannot leak into later prefix-only queries.
+#[derive(Debug, Default, Clone)]
+pub struct Eliminator {
     cache: HashMap<ExprRef, ExprRef>,
     /// Fresh variable per (base array, rewritten index) pair.
     base_reads: HashMap<(u32, ExprRef), ExprRef>,
-    axioms: Vec<ExprRef>,
     stats: ElimStats,
-    max_cells: u64,
+    scope: Option<ElimScope>,
 }
 
-impl<'p> Eliminator<'p> {
-    fn rewrite(&mut self, e: ExprRef) -> Result<ExprRef, ArrayBudgetExceeded> {
+#[derive(Debug, Clone)]
+struct ElimScope {
+    cache_keys: Vec<ExprRef>,
+    base_read_keys: Vec<(u32, ExprRef)>,
+    stats_before: ElimStats,
+}
+
+impl Eliminator {
+    /// Empty persistent state.
+    pub fn new() -> Self {
+        Eliminator::default()
+    }
+
+    /// Cumulative statistics over every committed rewrite.
+    pub fn stats(&self) -> ElimStats {
+        self.stats
+    }
+
+    /// Starts recording insertions for a later rollback or commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scope is already open (scopes do not nest).
+    pub fn begin_scope(&mut self) {
+        assert!(self.scope.is_none(), "elimination scopes do not nest");
+        self.scope = Some(ElimScope {
+            cache_keys: Vec::new(),
+            base_read_keys: Vec::new(),
+            stats_before: self.stats,
+        });
+    }
+
+    /// Keeps everything added since [`Eliminator::begin_scope`].
+    pub fn commit_scope(&mut self) {
+        self.scope = None;
+    }
+
+    /// Undoes everything added since [`Eliminator::begin_scope`].
+    pub fn rollback_scope(&mut self) {
+        let scope = self.scope.take().expect("scope open");
+        for k in scope.cache_keys {
+            self.cache.remove(&k);
+        }
+        for k in scope.base_read_keys {
+            self.base_reads.remove(&k);
+        }
+        self.stats = scope.stats_before;
+    }
+
+    /// Rewrites `e` into array-free form, appending any new axioms to
+    /// `axioms`. Cached sub-results are reused; `max_cells` bounds the
+    /// *cumulative* cells instantiated by this eliminator, which matches
+    /// what a fresh whole-query elimination would count (the cache dedups
+    /// identical reads exactly as a single pass would).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayBudgetExceeded`] when the cumulative cell count
+    /// crosses `max_cells`.
+    pub fn rewrite(
+        &mut self,
+        pool: &mut ExprPool,
+        e: ExprRef,
+        max_cells: u64,
+        axioms: &mut Vec<ExprRef>,
+    ) -> Result<ExprRef, ArrayBudgetExceeded> {
         if let Some(&r) = self.cache.get(&e) {
             return Ok(r);
         }
-        let node = self.pool.node(e).clone();
+        let node = pool.node(e).clone();
         let r = match node {
             Node::Const { .. } | Node::BoolConst(_) | Node::Var { .. } => e,
             Node::Bin { op, a, b } => {
-                let a = self.rewrite(a)?;
-                let b = self.rewrite(b)?;
-                self.pool.bin(op, a, b)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                let b = self.rewrite(pool, b, max_cells, axioms)?;
+                pool.bin(op, a, b)
             }
             Node::Cmp { op, a, b } => {
-                let a = self.rewrite(a)?;
-                let b = self.rewrite(b)?;
-                self.pool.cmp(op, a, b)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                let b = self.rewrite(pool, b, max_cells, axioms)?;
+                pool.cmp(op, a, b)
             }
             Node::Not(a) => {
-                let a = self.rewrite(a)?;
-                self.pool.not(a)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                pool.not(a)
             }
             Node::AndB(a, b) => {
-                let a = self.rewrite(a)?;
-                let b = self.rewrite(b)?;
-                self.pool.and(a, b)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                let b = self.rewrite(pool, b, max_cells, axioms)?;
+                pool.and(a, b)
             }
             Node::OrB(a, b) => {
-                let a = self.rewrite(a)?;
-                let b = self.rewrite(b)?;
-                self.pool.or(a, b)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                let b = self.rewrite(pool, b, max_cells, axioms)?;
+                pool.or(a, b)
             }
             Node::Ite {
                 cond,
                 then_e,
                 else_e,
             } => {
-                let c = self.rewrite(cond)?;
-                let t = self.rewrite(then_e)?;
-                let el = self.rewrite(else_e)?;
-                self.pool.ite(c, t, el)
+                let c = self.rewrite(pool, cond, max_cells, axioms)?;
+                let t = self.rewrite(pool, then_e, max_cells, axioms)?;
+                let el = self.rewrite(pool, else_e, max_cells, axioms)?;
+                pool.ite(c, t, el)
             }
             Node::ZExt { a, bits } => {
-                let a = self.rewrite(a)?;
-                self.pool.zext(a, bits)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                pool.zext(a, bits)
             }
             Node::Trunc { a, bits } => {
-                let a = self.rewrite(a)?;
-                self.pool.trunc(a, bits)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                pool.trunc(a, bits)
             }
             Node::BoolToBv { a, bits } => {
-                let a = self.rewrite(a)?;
-                self.pool.bool_to_bv(a, bits)
+                let a = self.rewrite(pool, a, max_cells, axioms)?;
+                pool.bool_to_bv(a, bits)
             }
             Node::Read { arr, index } => {
-                let idx = self.rewrite(index)?;
+                let idx = self.rewrite(pool, index, max_cells, axioms)?;
                 self.stats.symbolic_reads += 1;
-                self.expand_read(arr, idx)?
+                self.expand_read(pool, arr, idx, max_cells, axioms)?
             }
         };
         self.cache.insert(e, r);
+        if let Some(scope) = &mut self.scope {
+            scope.cache_keys.push(e);
+        }
         Ok(r)
     }
 
-    fn expand_read(&mut self, arr: ArrayRef, idx: ExprRef) -> Result<ExprRef, ArrayBudgetExceeded> {
-        match self.pool.array_node(arr).clone() {
+    fn expand_read(
+        &mut self,
+        pool: &mut ExprPool,
+        arr: ArrayRef,
+        idx: ExprRef,
+        max_cells: u64,
+        axioms: &mut Vec<ExprRef>,
+    ) -> Result<ExprRef, ArrayBudgetExceeded> {
+        match pool.array_node(arr).clone() {
             ArrayNode::Store {
                 arr: below,
                 index: si,
                 value,
             } => {
                 self.stats.stores_traversed += 1;
-                let si = self.rewrite(si)?;
-                let value = self.rewrite(value)?;
+                let si = self.rewrite(pool, si, max_cells, axioms)?;
+                let value = self.rewrite(pool, value, max_cells, axioms)?;
                 // Fast path: both indices concrete.
-                if let (Some(a), Some(b)) = (self.pool.as_const(si), self.pool.as_const(idx)) {
+                if let (Some(a), Some(b)) = (pool.as_const(si), pool.as_const(idx)) {
                     return if a == b {
                         Ok(value)
                     } else {
-                        self.expand_read(below, idx)
+                        self.expand_read(pool, below, idx, max_cells, axioms)
                     };
                 }
-                let cond = self.pool.cmp(crate::expr::CmpKind::Eq, idx, si);
-                let under = self.expand_read(below, idx)?;
-                Ok(self.pool.ite(cond, value, under))
+                let cond = pool.cmp(crate::expr::CmpKind::Eq, idx, si);
+                let under = self.expand_read(pool, below, idx, max_cells, axioms)?;
+                Ok(pool.ite(cond, value, under))
             }
             ArrayNode::Base(id) => {
-                let decl = self.pool.array_decl(id).clone();
-                if let Some(k) = self.pool.as_const(idx) {
+                let decl = pool.array_decl(id).clone();
+                if let Some(k) = pool.as_const(idx) {
                     let v = decl
                         .init
                         .as_ref()
                         .map(|init| init.get(k as usize).copied().unwrap_or(0))
                         .unwrap_or(0);
-                    return Ok(self.pool.bv_const(v, decl.elem_bits));
+                    return Ok(pool.bv_const(v, decl.elem_bits));
                 }
                 if let Some(&var) = self.base_reads.get(&(id, idx)) {
                     return Ok(var);
                 }
                 self.stats.cells += decl.len;
-                if self.stats.cells > self.max_cells {
+                if self.stats.cells > max_cells {
                     return Err(ArrayBudgetExceeded {
                         cells: self.stats.cells,
-                        budget: self.max_cells,
+                        budget: max_cells,
                     });
                 }
-                let fresh = self
-                    .pool
-                    .var(format!("{}[{}]", decl.name, idx), decl.elem_bits);
+                let fresh = pool.var(format!("{}[{}]", decl.name, idx), decl.elem_bits);
                 self.base_reads.insert((id, idx), fresh);
+                if let Some(scope) = &mut self.scope {
+                    scope.base_read_keys.push((id, idx));
+                }
                 // One axiom per cell: (idx == k) -> fresh == init[k].
-                let idx_bits = self.pool.sort(idx).bits();
+                let idx_bits = pool.sort(idx).bits();
                 for k in 0..decl.len {
-                    let kv = self.pool.bv_const(k, idx_bits);
-                    let hit = self.pool.cmp(crate::expr::CmpKind::Eq, idx, kv);
-                    let nhit = self.pool.not(hit);
+                    let kv = pool.bv_const(k, idx_bits);
+                    let hit = pool.cmp(crate::expr::CmpKind::Eq, idx, kv);
+                    let nhit = pool.not(hit);
                     let v = decl
                         .init
                         .as_ref()
                         .map(|init| init.get(k as usize).copied().unwrap_or(0))
                         .unwrap_or(0);
-                    let cv = self.pool.bv_const(v, decl.elem_bits);
-                    let eqv = self.pool.cmp(crate::expr::CmpKind::Eq, fresh, cv);
-                    let ax = self.pool.or(nhit, eqv);
-                    self.axioms.push(ax);
+                    let cv = pool.bv_const(v, decl.elem_bits);
+                    let eqv = pool.cmp(crate::expr::CmpKind::Eq, fresh, cv);
+                    let ax = pool.or(nhit, eqv);
+                    axioms.push(ax);
                 }
                 // In-bounds axiom: the memory model faults on out-of-range
                 // accesses, and the trace says this access did not fault.
-                let len_v = self.pool.bv_const(decl.len, idx_bits);
-                let inb = self.pool.cmp(crate::expr::CmpKind::Ult, idx, len_v);
-                self.axioms.push(inb);
+                let len_v = pool.bv_const(decl.len, idx_bits);
+                let inb = pool.cmp(crate::expr::CmpKind::Ult, idx, len_v);
+                axioms.push(inb);
                 Ok(fresh)
             }
         }
@@ -226,9 +303,9 @@ mod tests {
 
     fn check(pool: &mut ExprPool, exprs: &[ExprRef], max_cells: u64) -> SatOutcome {
         let (flat, _) = eliminate(pool, exprs, max_cells).unwrap();
-        let mut bb = crate::bitblast::BitBlaster::new(pool);
+        let mut bb = crate::bitblast::BitBlaster::new();
         for e in flat {
-            bb.assert_true(e).unwrap();
+            bb.assert_true(pool, e).unwrap();
         }
         let (cnf, _) = bb.finish();
         SatSolver::new(&cnf).solve(1_000_000)

@@ -3,7 +3,7 @@
 //! Arrays must be eliminated first (see [`crate::arrays`]); encountering a
 //! `Read` node here is an internal error surfaced as [`BlastError`].
 
-use crate::cnf::{Cnf, Lit, Var};
+use crate::cnf::{Cnf, CnfMark, Lit, Var};
 use crate::expr::{BvOp, CmpKind, ExprPool, ExprRef, Node, VarId};
 use std::collections::HashMap;
 use std::fmt;
@@ -34,24 +34,33 @@ enum Blasted {
 }
 
 /// Converts expressions to CNF, caching shared subterms.
-#[derive(Debug)]
-pub struct BitBlaster<'p> {
-    pool: &'p ExprPool,
+///
+/// The blaster holds no pool borrow — each call takes the pool — so it can
+/// persist across queries and keep its Tseitin cache warm. Gates and
+/// variable encodings are definitional (they constrain nothing by
+/// themselves), so cached entries stay sound as the formula grows.
+/// [`BitBlaster::begin_scope`] / [`BitBlaster::rollback_scope`] bracket
+/// assumption-only blasting so its clauses and cache entries can be undone.
+#[derive(Debug, Default, Clone)]
+pub struct BitBlaster {
     /// The CNF being built.
     pub cnf: Cnf,
     cache: HashMap<ExprRef, Blasted>,
     var_bits: HashMap<VarId, Vec<Var>>,
+    scope: Option<BlastScope>,
 }
 
-impl<'p> BitBlaster<'p> {
-    /// A blaster over `pool`.
-    pub fn new(pool: &'p ExprPool) -> Self {
-        BitBlaster {
-            pool,
-            cnf: Cnf::new(),
-            cache: HashMap::new(),
-            var_bits: HashMap::new(),
-        }
+#[derive(Debug, Clone)]
+struct BlastScope {
+    cache_keys: Vec<ExprRef>,
+    var_keys: Vec<VarId>,
+    cnf_mark: CnfMark,
+}
+
+impl BitBlaster {
+    /// An empty blaster.
+    pub fn new() -> Self {
+        BitBlaster::default()
     }
 
     /// Asserts boolean expression `e` as a unit constraint.
@@ -59,8 +68,8 @@ impl<'p> BitBlaster<'p> {
     /// # Errors
     ///
     /// Returns [`BlastError`] if `e` contains array reads.
-    pub fn assert_true(&mut self, e: ExprRef) -> Result<(), BlastError> {
-        let l = self.blast_bool(e)?;
+    pub fn assert_true(&mut self, pool: &ExprPool, e: ExprRef) -> Result<(), BlastError> {
+        let l = self.blast_bool(pool, e)?;
         self.cnf.add_clause(&[l]);
         Ok(())
     }
@@ -71,8 +80,44 @@ impl<'p> BitBlaster<'p> {
         (self.cnf, self.var_bits)
     }
 
-    fn blast_bool(&mut self, e: ExprRef) -> Result<Lit, BlastError> {
-        match self.blast(e)? {
+    /// The expression-variable bit map, without consuming the blaster.
+    pub fn var_bits(&self) -> &HashMap<VarId, Vec<Var>> {
+        &self.var_bits
+    }
+
+    /// Starts recording CNF growth and cache insertions for rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scope is already open (scopes do not nest).
+    pub fn begin_scope(&mut self) {
+        assert!(self.scope.is_none(), "blast scopes do not nest");
+        self.scope = Some(BlastScope {
+            cache_keys: Vec::new(),
+            var_keys: Vec::new(),
+            cnf_mark: self.cnf.mark(),
+        });
+    }
+
+    /// Keeps everything added since [`BitBlaster::begin_scope`].
+    pub fn commit_scope(&mut self) {
+        self.scope = None;
+    }
+
+    /// Undoes everything added since [`BitBlaster::begin_scope`].
+    pub fn rollback_scope(&mut self) {
+        let scope = self.scope.take().expect("scope open");
+        for k in scope.cache_keys {
+            self.cache.remove(&k);
+        }
+        for k in scope.var_keys {
+            self.var_bits.remove(&k);
+        }
+        self.cnf.rollback(&scope.cnf_mark);
+    }
+
+    fn blast_bool(&mut self, pool: &ExprPool, e: ExprRef) -> Result<Lit, BlastError> {
+        match self.blast(pool, e)? {
             Blasted::Bool(l) => Ok(l),
             Blasted::Bits(bits) => {
                 // Nonzero test.
@@ -85,18 +130,18 @@ impl<'p> BitBlaster<'p> {
         }
     }
 
-    fn blast_bits(&mut self, e: ExprRef) -> Result<Vec<Lit>, BlastError> {
-        match self.blast(e)? {
+    fn blast_bits(&mut self, pool: &ExprPool, e: ExprRef) -> Result<Vec<Lit>, BlastError> {
+        match self.blast(pool, e)? {
             Blasted::Bits(b) => Ok(b),
             Blasted::Bool(l) => Ok(vec![l]),
         }
     }
 
-    fn blast(&mut self, e: ExprRef) -> Result<Blasted, BlastError> {
+    fn blast(&mut self, pool: &ExprPool, e: ExprRef) -> Result<Blasted, BlastError> {
         if let Some(b) = self.cache.get(&e) {
             return Ok(b.clone());
         }
-        let result = match self.pool.node(e).clone() {
+        let result = match pool.node(e).clone() {
             Node::Const { bits, value } => {
                 let t = self.cnf.true_lit();
                 let f = !t;
@@ -113,30 +158,33 @@ impl<'p> BitBlaster<'p> {
             Node::Var { id, bits } => {
                 let vars: Vec<Var> = (0..bits).map(|_| self.cnf.new_var()).collect();
                 self.var_bits.insert(id, vars.clone());
+                if let Some(scope) = &mut self.scope {
+                    scope.var_keys.push(id);
+                }
                 Blasted::Bits(vars.into_iter().map(Lit::pos).collect())
             }
             Node::Bin { op, a, b } => {
-                let av = self.blast_bits(a)?;
-                let bv = self.blast_bits(b)?;
+                let av = self.blast_bits(pool, a)?;
+                let bv = self.blast_bits(pool, b)?;
                 Blasted::Bits(self.bin_op(op, &av, &bv))
             }
             Node::Cmp { op, a, b } => {
-                let av = self.blast_bits(a)?;
-                let bv = self.blast_bits(b)?;
+                let av = self.blast_bits(pool, a)?;
+                let bv = self.blast_bits(pool, b)?;
                 Blasted::Bool(self.cmp_op(op, &av, &bv))
             }
             Node::Not(a) => {
-                let l = self.blast_bool(a)?;
+                let l = self.blast_bool(pool, a)?;
                 Blasted::Bool(!l)
             }
             Node::AndB(a, b) => {
-                let la = self.blast_bool(a)?;
-                let lb = self.blast_bool(b)?;
+                let la = self.blast_bool(pool, a)?;
+                let lb = self.blast_bool(pool, b)?;
                 Blasted::Bool(self.cnf.and_gate(la, lb))
             }
             Node::OrB(a, b) => {
-                let la = self.blast_bool(a)?;
-                let lb = self.blast_bool(b)?;
+                let la = self.blast_bool(pool, a)?;
+                let lb = self.blast_bool(pool, b)?;
                 Blasted::Bool(self.cnf.or_gate(la, lb))
             }
             Node::Ite {
@@ -144,9 +192,9 @@ impl<'p> BitBlaster<'p> {
                 then_e,
                 else_e,
             } => {
-                let c = self.blast_bool(cond)?;
-                let t = self.blast_bits(then_e)?;
-                let el = self.blast_bits(else_e)?;
+                let c = self.blast_bool(pool, cond)?;
+                let t = self.blast_bits(pool, then_e)?;
+                let el = self.blast_bits(pool, else_e)?;
                 Blasted::Bits(
                     t.iter()
                         .zip(&el)
@@ -155,17 +203,17 @@ impl<'p> BitBlaster<'p> {
                 )
             }
             Node::ZExt { a, bits } => {
-                let mut v = self.blast_bits(a)?;
+                let mut v = self.blast_bits(pool, a)?;
                 let f = self.cnf.false_lit();
                 v.resize(bits as usize, f);
                 Blasted::Bits(v)
             }
             Node::Trunc { a, bits } => {
-                let v = self.blast_bits(a)?;
+                let v = self.blast_bits(pool, a)?;
                 Blasted::Bits(v[..bits as usize].to_vec())
             }
             Node::BoolToBv { a, bits } => {
-                let l = self.blast_bool(a)?;
+                let l = self.blast_bool(pool, a)?;
                 let f = self.cnf.false_lit();
                 let mut v = vec![f; bits as usize];
                 v[0] = l;
@@ -174,6 +222,9 @@ impl<'p> BitBlaster<'p> {
             Node::Read { .. } => return Err(BlastError::UnexpectedRead(e)),
         };
         self.cache.insert(e, result.clone());
+        if let Some(scope) = &mut self.scope {
+            scope.cache_keys.push(e);
+        }
         Ok(result)
     }
 
@@ -378,10 +429,10 @@ mod tests {
         let c1 = pool.cmp(CmpKind::Eq, a, xa);
         let c2 = pool.cmp(CmpKind::Eq, b, xb);
         let c3 = pool.cmp(CmpKind::Eq, r, expect);
-        let mut bb = BitBlaster::new(&pool);
-        bb.assert_true(c1).unwrap();
-        bb.assert_true(c2).unwrap();
-        bb.assert_true(c3).unwrap();
+        let mut bb = BitBlaster::new();
+        bb.assert_true(&pool, c1).unwrap();
+        bb.assert_true(&pool, c2).unwrap();
+        bb.assert_true(&pool, c3).unwrap();
         let (cnf, _) = bb.finish();
         match SatSolver::new(&cnf).solve(1_000_000) {
             SatOutcome::Sat(m) => assert!(cnf.eval(&m)),
@@ -398,10 +449,10 @@ mod tests {
         let c1 = pool2.cmp(CmpKind::Eq, a2, xa2);
         let c2 = pool2.cmp(CmpKind::Eq, b2, xb2);
         let c3 = pool2.cmp(CmpKind::Eq, r2, wrong);
-        let mut bb = BitBlaster::new(&pool2);
-        bb.assert_true(c1).unwrap();
-        bb.assert_true(c2).unwrap();
-        bb.assert_true(c3).unwrap();
+        let mut bb = BitBlaster::new();
+        bb.assert_true(&pool2, c1).unwrap();
+        bb.assert_true(&pool2, c2).unwrap();
+        bb.assert_true(&pool2, c3).unwrap();
         let (cnf, _) = bb.finish();
         assert_eq!(
             SatSolver::new(&cnf).solve(1_000_000),
@@ -470,10 +521,10 @@ mod tests {
                 let e2 = pool.cmp(CmpKind::Eq, b, xb);
                 let expected = op.eval(8, x, y);
                 let goal = if expected { c } else { pool.not(c) };
-                let mut bb = BitBlaster::new(&pool);
-                bb.assert_true(e1).unwrap();
-                bb.assert_true(e2).unwrap();
-                bb.assert_true(goal).unwrap();
+                let mut bb = BitBlaster::new();
+                bb.assert_true(&pool, e1).unwrap();
+                bb.assert_true(&pool, e2).unwrap();
+                bb.assert_true(&pool, goal).unwrap();
                 let (cnf, _) = bb.finish();
                 assert!(
                     matches!(SatSolver::new(&cnf).solve(100_000), SatOutcome::Sat(_)),
@@ -492,8 +543,8 @@ mod tests {
         let fifty = pool.bv_const(50, 32);
         let sum = pool.bin(BvOp::Add, x, seven);
         let eq = pool.cmp(CmpKind::Eq, sum, fifty);
-        let mut bb = BitBlaster::new(&pool);
-        bb.assert_true(eq).unwrap();
+        let mut bb = BitBlaster::new();
+        bb.assert_true(&pool, eq).unwrap();
         let (cnf, var_bits) = bb.finish();
         let SatOutcome::Sat(m) = SatSolver::new(&cnf).solve(100_000) else {
             panic!("SAT expected");
@@ -515,9 +566,9 @@ mod tests {
         let r = pool.read(arr, i);
         let zero = pool.bv_const(0, 32);
         let c = pool.cmp(CmpKind::Eq, r, zero);
-        let mut bb = BitBlaster::new(&pool);
+        let mut bb = BitBlaster::new();
         assert!(matches!(
-            bb.assert_true(c),
+            bb.assert_true(&pool, c),
             Err(BlastError::UnexpectedRead(_))
         ));
     }
@@ -531,8 +582,8 @@ mod tests {
         let le = pool.cmp(CmpKind::Ule, z, big);
         // zext(x,16) <= 0xff for all x: negation must be UNSAT.
         let neg = pool.not(le);
-        let mut bb = BitBlaster::new(&pool);
-        bb.assert_true(neg).unwrap();
+        let mut bb = BitBlaster::new();
+        bb.assert_true(&pool, neg).unwrap();
         let (cnf, _) = bb.finish();
         assert_eq!(SatSolver::new(&cnf).solve(100_000), SatOutcome::Unsat);
     }

@@ -64,6 +64,14 @@ impl fmt::Display for Lit {
     }
 }
 
+/// A snapshot of a [`Cnf`]'s extent (see [`Cnf::mark`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CnfMark {
+    n_vars: u32,
+    n_clauses: usize,
+    const_true: Option<Lit>,
+}
+
 /// A CNF formula under construction, with Tseitin helpers.
 #[derive(Debug, Default, Clone)]
 pub struct Cnf {
@@ -99,6 +107,28 @@ impl Cnf {
     /// Adds a clause (a disjunction of literals).
     pub fn add_clause(&mut self, lits: &[Lit]) {
         self.clauses.push(lits.to_vec());
+    }
+
+    /// Captures the current formula extent for a later [`Cnf::rollback`].
+    pub fn mark(&self) -> CnfMark {
+        CnfMark {
+            n_vars: self.n_vars,
+            n_clauses: self.clauses.len(),
+            const_true: self.const_true,
+        }
+    }
+
+    /// Discards every variable and clause added since `mark` was taken.
+    ///
+    /// Used by the incremental solver to scope assumption-only lowering:
+    /// nothing added after the mark may be referenced by clauses before it
+    /// (Tseitin outputs are only consumed by later clauses), so truncation
+    /// restores exactly the pre-mark formula.
+    pub fn rollback(&mut self, mark: &CnfMark) {
+        debug_assert!(mark.n_vars <= self.n_vars && mark.n_clauses <= self.clauses.len());
+        self.n_vars = mark.n_vars;
+        self.clauses.truncate(mark.n_clauses);
+        self.const_true = mark.const_true;
     }
 
     /// A literal that is always true (lazily created).

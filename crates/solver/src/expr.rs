@@ -261,7 +261,7 @@ pub struct VarDecl {
 
 /// The expression pool: owns all nodes, hash-consing structurally equal
 /// ones, and applies algebraic simplification in its constructors.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ExprPool {
     nodes: Vec<Node>,
     dedup: HashMap<Node, ExprRef>,

@@ -19,7 +19,10 @@
 //!    saving, Luby restarts, first-UIP learning) with a deterministic
 //!    conflict budget standing in for the paper's 30-second wall-clock
 //!    timeout.
-//! 5. [`solve`] — the façade: assert booleans, check, extract models, and
+//! 5. [`inc`] — the incremental engine: persistent elimination/bit-blast
+//!    caches and a persistent CDCL instance for the monotonically growing
+//!    constraint prefixes shepherded symbolic execution produces.
+//! 6. [`solve`] — the façade: assert booleans, check, extract models, and
 //!    evaluate expressions under a model.
 //!
 //! # Example
@@ -47,9 +50,11 @@ pub mod arrays;
 pub mod bitblast;
 pub mod cnf;
 pub mod expr;
+pub mod inc;
 pub mod sat;
 pub mod simplify;
 pub mod solve;
 
 pub use expr::{ArrayRef, BvOp, CmpKind, ExprPool, ExprRef, Sort};
+pub use inc::IncrementalSolver;
 pub use solve::{Budget, Model, SatResult, Solver};

@@ -41,7 +41,7 @@ enum LBool {
 }
 
 /// A binary max-heap over variables ordered by VSIDS activity.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VarHeap {
     heap: Vec<Var>,
     pos: Vec<i32>, // position in heap, -1 if absent
@@ -130,7 +130,19 @@ impl VarHeap {
 }
 
 /// The CDCL solver.
-#[derive(Debug)]
+///
+/// Besides the classic load-then-solve usage ([`SatSolver::new`]), the
+/// solver supports *incremental* use: start from [`SatSolver::empty`],
+/// grow the variable space with [`SatSolver::ensure_vars`], feed clauses
+/// with [`SatSolver::push_clause`], and call [`SatSolver::solve`] as often
+/// as needed. Clauses learned in earlier calls are implied by the clause
+/// database and therefore remain sound for every later call, as long as
+/// the problem only ever *gains* clauses (the monotone-prefix discipline
+/// the incremental ER solver follows). Cloning the solver yields an
+/// independent search that inherits the learned clauses — used for
+/// assumption queries whose extra clauses must not contaminate the
+/// persistent database.
+#[derive(Debug, Clone)]
 pub struct SatSolver {
     n_vars: usize,
     clauses: Vec<Vec<Lit>>,
@@ -179,6 +191,45 @@ impl SatSolver {
             }
         }
         s
+    }
+
+    /// A solver with no variables and no clauses (incremental use).
+    pub fn empty() -> Self {
+        SatSolver::new(&Cnf::new())
+    }
+
+    /// Grows the variable space to at least `n` variables.
+    pub fn ensure_vars(&mut self, n: usize) {
+        if n <= self.n_vars {
+            return;
+        }
+        self.watches.resize(2 * n, Vec::new());
+        self.assign.resize(n, LBool::Undef);
+        self.level.resize(n, 0);
+        self.reason.resize(n, -1);
+        self.activity.resize(n, 0.0);
+        self.phase.resize(n, false);
+        self.seen.resize(n, false);
+        self.heap.pos.resize(n, -1);
+        for v in self.n_vars..n {
+            self.heap.insert(&self.activity, Var(v as u32));
+        }
+        self.n_vars = n;
+    }
+
+    /// Adds a clause incrementally. The search is first backtracked to
+    /// level 0 so clause normalization only sees root-level assignments.
+    /// Variables must already exist (see [`SatSolver::ensure_vars`]).
+    pub fn push_clause(&mut self, lits: &[Lit]) {
+        self.backtrack(0);
+        if self.ok {
+            self.add_clause(lits);
+        }
+    }
+
+    /// Total clauses in the database (problem + learned).
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
     }
 
     fn value(&self, l: Lit) -> LBool {
@@ -434,18 +485,27 @@ impl SatSolver {
         if !self.ok {
             return SatOutcome::Unsat;
         }
+        // Incremental re-entry: restart the search from the root level so
+        // clauses added since the last call take effect everywhere.
+        self.backtrack(0);
         if self.propagate().is_some() {
+            self.ok = false; // root-level conflict: permanently unsat
             return SatOutcome::Unsat;
         }
+        // The conflict budget is per *call*: a persistent solver re-solved
+        // after new clauses arrive gets the same allowance a fresh solver
+        // would, keeping stall behavior comparable between the two modes.
+        let budget_end = self.stats.conflicts.saturating_add(max_conflicts);
         let mut restart_idx = 0u32;
         let mut conflicts_until_restart = luby(restart_idx) * 128;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
-                if self.stats.conflicts > max_conflicts {
+                if self.stats.conflicts > budget_end {
                     return SatOutcome::Unknown;
                 }
                 if self.trail_lim.is_empty() {
+                    self.ok = false;
                     return SatOutcome::Unsat;
                 }
                 let (learned, backjump) = self.analyze(conflict);
@@ -454,6 +514,7 @@ impl SatSolver {
                 self.stats.learned += 1;
                 if learned.len() == 1 {
                     if !self.enqueue(learned[0], -1) {
+                        self.ok = false;
                         return SatOutcome::Unsat;
                     }
                 } else {
@@ -662,6 +723,81 @@ mod tests {
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(luby(i as u32), e, "luby({i})");
         }
+    }
+
+    #[test]
+    fn incremental_feed_resolves_and_stays_unsat() {
+        let mut s = SatSolver::empty();
+        s.ensure_vars(3);
+        s.push_clause(&[lit(0, true), lit(1, true)]);
+        s.push_clause(&[lit(0, false), lit(2, true)]);
+        assert!(matches!(s.solve(1_000), SatOutcome::Sat(_)));
+        // Add more constraints after a solve and re-solve.
+        s.ensure_vars(4);
+        s.push_clause(&[lit(3, true)]);
+        s.push_clause(&[lit(3, false), lit(1, false)]);
+        assert!(matches!(s.solve(1_000), SatOutcome::Sat(_)));
+        // Force a contradiction; unsat must stick across calls.
+        s.push_clause(&[lit(0, false)]);
+        s.push_clause(&[lit(0, true), lit(1, true)]);
+        s.push_clause(&[lit(1, false)]);
+        assert_eq!(s.solve(1_000), SatOutcome::Unsat);
+        assert_eq!(s.solve(1_000), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_random_instances() {
+        let mut seed = 0x9e37_79b9_u64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let n_vars = 7usize;
+            let n_clauses = 4 + (rand() % 24) as usize;
+            let mut cnf = Cnf::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| cnf.new_var()).collect();
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..n_clauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[(rand() % n_vars as u64) as usize];
+                    c.push(Lit::new(v, rand() % 2 == 0));
+                }
+                clauses.push(c);
+            }
+            for c in &clauses {
+                cnf.add_clause(c);
+            }
+            let batch = matches!(SatSolver::new(&cnf).solve(1_000_000), SatOutcome::Sat(_));
+            // Feed the same clauses one at a time, solving between batches.
+            let mut inc = SatSolver::empty();
+            inc.ensure_vars(n_vars);
+            for (i, c) in clauses.iter().enumerate() {
+                inc.push_clause(c);
+                if i % 3 == 0 {
+                    let _ = inc.solve(1_000_000);
+                }
+            }
+            let incr = matches!(inc.solve(1_000_000), SatOutcome::Sat(_));
+            assert_eq!(batch, incr, "incremental disagrees with batch");
+        }
+    }
+
+    #[test]
+    fn cloned_solver_searches_independently() {
+        let mut s = SatSolver::empty();
+        s.ensure_vars(2);
+        s.push_clause(&[lit(0, true), lit(1, true)]);
+        assert!(matches!(s.solve(1_000), SatOutcome::Sat(_)));
+        let mut scratch = s.clone();
+        scratch.push_clause(&[lit(0, false)]);
+        scratch.push_clause(&[lit(1, false)]);
+        assert_eq!(scratch.solve(1_000), SatOutcome::Unsat);
+        // The original is unaffected by the clone's extra clauses.
+        assert!(matches!(s.solve(1_000), SatOutcome::Sat(_)));
     }
 
     #[test]

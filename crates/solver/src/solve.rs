@@ -1,9 +1,7 @@
 //! The solver façade: assertions in, model / unsat / stall out.
 
-use crate::arrays;
-use crate::bitblast::BitBlaster;
 use crate::expr::{ExprPool, ExprRef, Sort, VarId};
-use crate::sat::{SatOutcome, SatSolver};
+use crate::inc::IncrementalSolver;
 use crate::simplify;
 use std::collections::HashMap;
 use std::fmt;
@@ -156,12 +154,18 @@ impl SolveStats {
     }
 }
 
-/// An incremental-ish solver façade over an [`ExprPool`].
+/// A solver façade over an [`ExprPool`].
+///
+/// Internally this is a thin wrapper around [`IncrementalSolver`]: repeated
+/// `check`/`check_assuming` calls on one `Solver` reuse array-elimination
+/// results, the Tseitin cache, the CNF clause database, and learned clauses
+/// from earlier calls. The assertion vector is passed by reference — no
+/// per-query cloning.
 #[derive(Debug)]
 pub struct Solver<'p> {
     pool: &'p mut ExprPool,
     assertions: Vec<ExprRef>,
-    last_stats: SolveStats,
+    inc: IncrementalSolver,
 }
 
 impl<'p> Solver<'p> {
@@ -170,7 +174,7 @@ impl<'p> Solver<'p> {
         Solver {
             pool,
             assertions: Vec::new(),
-            last_stats: SolveStats::default(),
+            inc: IncrementalSolver::new(),
         }
     }
 
@@ -196,107 +200,19 @@ impl<'p> Solver<'p> {
 
     /// Checks the asserted formula under `budget`.
     pub fn check(&mut self, budget: &Budget) -> SatResult {
-        let assertions = self.assertions.clone();
-        self.check_with(&assertions, budget)
+        self.inc.check(self.pool, &self.assertions, budget)
     }
 
     /// Checks the asserted formula plus `assumptions` without retaining
     /// them.
     pub fn check_assuming(&mut self, assumptions: &[ExprRef], budget: &Budget) -> SatResult {
-        let mut all = self.assertions.clone();
-        all.extend_from_slice(assumptions);
-        self.check_with(&all, budget)
-    }
-
-    fn check_with(&mut self, assertions: &[ExprRef], budget: &Budget) -> SatResult {
-        let _span = er_telemetry::span!("solver.query");
-        let result = self.check_with_inner(assertions, budget);
-        if er_telemetry::enabled() {
-            // One batched update per query: the lowering pipeline above
-            // runs uninstrumented.
-            er_telemetry::counter!("solver.queries").incr();
-            er_telemetry::counter!("solver.work_units").add(self.last_stats.work_units());
-            er_telemetry::counter!("solver.array_cells").add(self.last_stats.array_cells);
-            er_telemetry::counter!("solver.cnf_clauses").add(self.last_stats.cnf_clauses as u64);
-            if matches!(result, SatResult::Unknown(_)) {
-                er_telemetry::counter!("solver.stalls").incr();
-            }
-        }
-        result
-    }
-
-    fn check_with_inner(&mut self, assertions: &[ExprRef], budget: &Budget) -> SatResult {
-        self.last_stats = SolveStats::default();
-        // Fast path: constant-folded assertions.
-        let mut pending = Vec::new();
-        for &a in assertions {
-            match self.pool.as_const(a) {
-                Some(0) => return SatResult::Unsat,
-                Some(_) => {}
-                None => pending.push(a),
-            }
-        }
-        if pending.is_empty() {
-            return SatResult::Sat(Model::default());
-        }
-
-        let (flat, estats) = match arrays::eliminate(self.pool, &pending, budget.max_array_cells) {
-            Ok(r) => r,
-            Err(e) => {
-                self.last_stats.array_cells = e.cells;
-                return SatResult::Unknown(StallReason::ArrayCells { cells: e.cells });
-            }
-        };
-        self.last_stats.array_cells = estats.cells;
-        self.last_stats.stores_traversed = estats.stores_traversed;
-
-        let mut bb = BitBlaster::new(self.pool);
-        for e in &flat {
-            if let Err(err) = bb.assert_true(*e) {
-                unreachable!("arrays were eliminated: {err}");
-            }
-            if bb.cnf.clause_count() > budget.max_clauses {
-                let clauses = bb.cnf.clause_count();
-                self.last_stats.cnf_clauses = clauses;
-                return SatResult::Unknown(StallReason::Clauses { clauses });
-            }
-        }
-        let (cnf, var_bits) = bb.finish();
-        self.last_stats.cnf_vars = cnf.var_count();
-        self.last_stats.cnf_clauses = cnf.clause_count();
-
-        let mut sat = SatSolver::new(&cnf);
-        let outcome = sat.solve(budget.max_conflicts);
-        self.last_stats.conflicts = sat.stats().conflicts;
-        self.last_stats.propagations = sat.stats().propagations;
-        match outcome {
-            SatOutcome::Sat(assignment) => {
-                let mut model = Model::default();
-                for (id, bits) in &var_bits {
-                    let mut v = 0u64;
-                    for (i, var) in bits.iter().enumerate() {
-                        if assignment[var.0 as usize] {
-                            v |= 1 << i;
-                        }
-                    }
-                    model.values.insert(*id, v);
-                }
-                debug_assert!(
-                    pending.iter().all(|&a| model.eval_bool(self.pool, a)),
-                    "model must satisfy the original assertions"
-                );
-                SatResult::Sat(model)
-            }
-            SatOutcome::Unsat => SatResult::Unsat,
-            SatOutcome::Unknown => SatResult::Unknown(StallReason::Conflicts {
-                conflicts: self.last_stats.conflicts,
-            }),
-        }
+        self.inc
+            .check_assuming(self.pool, &self.assertions, assumptions, budget)
     }
 
     /// Work counters from the most recent check.
     pub fn last_stats(&self) -> SolveStats {
-        self.last_stats
+        self.inc.last_stats()
     }
 }
 

@@ -1,0 +1,123 @@
+//! Property tests for the incremental engine: a persistent
+//! [`IncrementalSolver`] driven through growing prefixes and assumption
+//! probes must agree with a fresh (uncached) solve of each full query.
+
+use er_solver::expr::{BvOp, CmpKind, ExprPool, ExprRef};
+use er_solver::inc::IncrementalSolver;
+use er_solver::solve::{Budget, SatResult};
+use proptest::prelude::*;
+
+fn cmpkind() -> impl Strategy<Value = CmpKind> {
+    prop_oneof![
+        Just(CmpKind::Eq),
+        Just(CmpKind::Ult),
+        Just(CmpKind::Ule),
+        Just(CmpKind::Slt),
+        Just(CmpKind::Sle),
+    ]
+}
+
+fn bvop() -> impl Strategy<Value = BvOp> {
+    prop_oneof![
+        Just(BvOp::Add),
+        Just(BvOp::Sub),
+        Just(BvOp::Mul),
+        Just(BvOp::And),
+        Just(BvOp::Or),
+        Just(BvOp::Xor),
+    ]
+}
+
+/// One random boolean constraint over `x`, `y`, and a constant.
+fn constraint(
+    pool: &mut ExprPool,
+    x: ExprRef,
+    y: ExprRef,
+    op: BvOp,
+    cmp: CmpKind,
+    k: u64,
+) -> ExprRef {
+    let mixed = pool.bin(op, x, y);
+    let kv = pool.bv_const(k, 8);
+    pool.cmp(cmp, mixed, kv)
+}
+
+fn verdicts_match(a: &SatResult, b: &SatResult) -> bool {
+    matches!(
+        (a, b),
+        (SatResult::Sat(_), SatResult::Sat(_))
+            | (SatResult::Unsat, SatResult::Unsat)
+            | (SatResult::Unknown(_), SatResult::Unknown(_))
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Checking a growing assertion prefix on one persistent engine gives
+    /// the same satisfiability verdict as an uncached solve of each full
+    /// set, and any model produced satisfies everything asserted.
+    #[test]
+    fn cached_prefix_checks_match_fresh(
+        specs in prop::collection::vec((bvop(), cmpkind(), any::<u8>()), 1..6),
+    ) {
+        let mut pool = ExprPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let cs: Vec<ExprRef> = specs
+            .iter()
+            .map(|&(op, cmp, k)| constraint(&mut pool, x, y, op, cmp, u64::from(k)))
+            .collect();
+        let budget = Budget::default();
+        let mut inc = IncrementalSolver::new();
+        for n in 1..=cs.len() {
+            let cached = inc.check(&mut pool, &cs[..n], &budget);
+            let fresh = IncrementalSolver::new().check(&mut pool, &cs[..n], &budget);
+            prop_assert!(
+                verdicts_match(&cached, &fresh),
+                "prefix {n}: cached {cached:?} vs fresh {fresh:?}"
+            );
+            if let SatResult::Sat(m) = &cached {
+                prop_assert!(cs[..n].iter().all(|&c| m.eval_bool(&pool, c)));
+            }
+        }
+    }
+
+    /// Assumption probes answered from a clone of the persistent solver
+    /// match a fresh solve of prefix + assumption, and never perturb
+    /// subsequent prefix-only answers.
+    #[test]
+    fn cached_assumption_probes_match_fresh(
+        specs in prop::collection::vec((bvop(), cmpkind(), any::<u8>()), 1..4),
+        probes in prop::collection::vec((bvop(), cmpkind(), any::<u8>()), 1..4),
+    ) {
+        let mut pool = ExprPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let cs: Vec<ExprRef> = specs
+            .iter()
+            .map(|&(op, cmp, k)| constraint(&mut pool, x, y, op, cmp, u64::from(k)))
+            .collect();
+        let ps: Vec<ExprRef> = probes
+            .iter()
+            .map(|&(op, cmp, k)| constraint(&mut pool, x, y, op, cmp, u64::from(k)))
+            .collect();
+        let budget = Budget::default();
+        let mut inc = IncrementalSolver::new();
+        let baseline = inc.check(&mut pool, &cs, &budget);
+        for &p in &ps {
+            let cached = inc.check_assuming(&mut pool, &cs, &[p], &budget);
+            let fresh = IncrementalSolver::new().check_assuming(&mut pool, &cs, &[p], &budget);
+            prop_assert!(
+                verdicts_match(&cached, &fresh),
+                "probe: cached {cached:?} vs fresh {fresh:?}"
+            );
+            if let SatResult::Sat(m) = &cached {
+                prop_assert!(cs.iter().chain([&p]).all(|&c| m.eval_bool(&pool, c)));
+            }
+            // The probe must leave the persistent state unchanged.
+            let after = inc.check(&mut pool, &cs, &budget);
+            prop_assert!(verdicts_match(&baseline, &after));
+        }
+    }
+}

@@ -19,6 +19,8 @@ pub mod machine;
 pub mod mem;
 pub mod value;
 
-pub use machine::{ShepherdStatus, SymConfig, SymMachine, SymRunResult, TraceDivergence};
+pub use machine::{
+    MachineState, ShepherdStatus, SymConfig, SymMachine, SymRunResult, TraceDivergence,
+};
 pub use mem::{ObjectId, SymMemory};
 pub use value::SymValue;

@@ -15,7 +15,8 @@ use er_minilang::mem::NULL_GUARD;
 use er_minilang::value::Width;
 use er_pt::packet::TraceEvent;
 use er_solver::expr::{BvOp, CmpKind, ExprPool, ExprRef};
-use er_solver::solve::{Budget, SatResult, Solver, StallReason};
+use er_solver::inc::IncrementalSolver;
+use er_solver::solve::{Budget, SatResult, StallReason};
 use std::collections::HashMap;
 
 /// Configuration for a shepherded run.
@@ -31,6 +32,16 @@ pub struct SymConfig {
     /// constraints entirely at the cost of over-constraining the generated
     /// input (DESIGN.md §6, item 4).
     pub always_concretize: bool,
+    /// Reuse solver lowering and learned clauses across the run's queries
+    /// (the path condition grows monotonically, so every query extends the
+    /// previous one). Off = a fresh solver per query, the pre-incremental
+    /// behavior kept as a baseline/ablation mode.
+    pub incremental_solver: bool,
+    /// Snapshot the machine every this many consumed trace events so a
+    /// later occurrence of the same failure can resume shepherding from
+    /// the last matching checkpoint instead of re-executing the prefix.
+    /// `0` disables checkpointing.
+    pub checkpoint_every: u64,
 }
 
 impl Default for SymConfig {
@@ -39,6 +50,8 @@ impl Default for SymConfig {
             solver_budget: Budget::default(),
             max_steps: 500_000_000,
             always_concretize: false,
+            incremental_solver: true,
+            checkpoint_every: 1024,
         }
     }
 }
@@ -163,6 +176,118 @@ pub struct SymRunResult {
     pub stall_subject: Option<ExprRef>,
     /// Work counters.
     pub stats: SymStats,
+    /// Machine snapshots taken along the run (newest last), reusable to
+    /// resume shepherding a later trace that shares an event prefix.
+    pub checkpoints: Vec<MachineState>,
+}
+
+/// A resumable snapshot of the symbolic machine, taken at an event-cursor
+/// boundary during a run.
+///
+/// A snapshot of a run over events `E` captures everything the first
+/// `cursor` events determined. A later trace `E'` of the same program with
+/// the same instrumentation-agnostic behavior satisfies: if
+/// `E[..cursor] == E'[..cursor]`, resuming from the snapshot is
+/// indistinguishable from re-executing `E'[..cursor]` from scratch —
+/// branches, thread switches, and recorded PTW values are the events
+/// themselves, so identical prefixes drive identical state.
+///
+/// When the next occurrence runs under *different instrumentation*, frame
+/// positions and site references must first be translated through the two
+/// instrumentation maps; see [`MachineState::remap_sites`].
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    cursor: usize,
+    pool: ExprPool,
+    path: Vec<ExprRef>,
+    mem: SymMemory,
+    threads: Vec<SymThread>,
+    cur: usize,
+    lock_owner: HashMap<u64, u64>,
+    next_tid: u64,
+    inputs: Vec<InputRecord>,
+    input_offsets: HashMap<u32, usize>,
+    origins: HashMap<ExprRef, InstrId>,
+    site_counts: HashMap<InstrId, u64>,
+    clock: u64,
+    stats: SymStats,
+    heap_seq: u64,
+    inc: IncrementalSolver,
+}
+
+impl MachineState {
+    /// The event-cursor position this snapshot was taken at: resuming is
+    /// valid against any trace whose prefix is *semantically* equal to the
+    /// first `cursor()` events of the snapshot's own trace (equal modulo
+    /// timestamps and quantum-boundary resumes of the running thread — the
+    /// same events the run loop skips without touching machine state).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Retargets the snapshot at a cursor position in a *different* trace
+    /// whose prefix up to `cursor` is semantically equal to this snapshot's
+    /// own prefix. The caller (the reconstruction driver) establishes that
+    /// equivalence by aligning the two event streams.
+    pub fn with_cursor(mut self, cursor: usize) -> MachineState {
+        self.cursor = cursor;
+        self
+    }
+
+    /// Translates every instruction reference through `f` (typically
+    /// old-instrumentation → original → new-instrumentation), returning
+    /// `None` — discard the snapshot — if any reference has no image, e.g.
+    /// a frame paused exactly at an instruction the old instrumentation
+    /// inserted.
+    ///
+    /// `new_program` is the program the resumed run will execute; it is
+    /// needed to re-derive end-of-block instruction pointers, whose numeric
+    /// value depends on how many instructions the new instrumentation
+    /// inserted into the block.
+    pub fn remap_sites(
+        mut self,
+        new_program: &Program,
+        mut f: impl FnMut(InstrId) -> Option<InstrId>,
+    ) -> Option<MachineState> {
+        for t in &mut self.threads {
+            for fr in &mut t.frames {
+                // Snapshots store end-of-block positions as the TERMINATOR
+                // sentinel (see `snapshot`), so the raw ip never needs the
+                // old program's block lengths to interpret.
+                let id = InstrId {
+                    func: fr.func,
+                    block: fr.block,
+                    index: fr.ip,
+                };
+                let mapped = f(id)?;
+                fr.func = mapped.func;
+                fr.block = mapped.block;
+                fr.ip = if mapped.index == InstrId::TERMINATOR {
+                    new_program
+                        .func(mapped.func)
+                        .block(mapped.block)
+                        .instrs
+                        .len()
+                } else {
+                    mapped.index
+                };
+            }
+        }
+        let mut site_counts = HashMap::with_capacity(self.site_counts.len());
+        for (site, n) in self.site_counts.drain() {
+            site_counts.insert(f(site)?, n);
+        }
+        self.site_counts = site_counts;
+        let mut origins = HashMap::with_capacity(self.origins.len());
+        for (e, site) in self.origins.drain() {
+            origins.insert(e, f(site)?);
+        }
+        self.origins = origins;
+        for rec in &mut self.inputs {
+            rec.site = f(rec.site)?;
+        }
+        Some(self)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,7 +298,7 @@ enum ThreadState {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SymFrame {
     func: FuncId,
     block: BlockId,
@@ -183,7 +308,7 @@ struct SymFrame {
     stack_mark: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SymThread {
     tid: u64,
     frames: Vec<SymFrame>,
@@ -222,6 +347,11 @@ pub struct SymMachine<'p> {
     clock: u64,
     stats: SymStats,
     heap_seq: u64,
+    inc: IncrementalSolver,
+    checkpoints: Vec<MachineState>,
+    checkpoint_interval: u64,
+    next_checkpoint_at: usize,
+    start_cursor: usize,
 }
 
 impl<'p> SymMachine<'p> {
@@ -257,13 +387,70 @@ impl<'p> SymMachine<'p> {
             clock: 0,
             stats: SymStats::default(),
             heap_seq: 0,
+            inc: IncrementalSolver::new(),
+            checkpoints: Vec::new(),
+            checkpoint_interval: config.checkpoint_every,
+            next_checkpoint_at: usize::MAX,
+            start_cursor: 0,
+        }
+    }
+
+    /// A machine that picks up from `state`, skipping the events before
+    /// `state.cursor()`. The caller must guarantee the trace passed to
+    /// [`SymMachine::run`] agrees with the snapshot's trace on that prefix
+    /// (and must have remapped sites if instrumentation changed).
+    pub fn resume(program: &'p Program, config: SymConfig, state: MachineState) -> Self {
+        // The resume state itself is the run's first checkpoint: without it,
+        // a resumed run that starts past the shared prefix would snapshot
+        // nothing inside it, and the *next* occurrence would have to
+        // re-execute the whole prefix again. Re-normalize end-of-block
+        // frame positions to the TERMINATOR sentinel (the caller's
+        // `remap_sites` resolved them to this program's block lengths).
+        let mut seed = state.clone();
+        for t in &mut seed.threads {
+            for fr in &mut t.frames {
+                if fr.ip >= program.func(fr.func).block(fr.block).instrs.len() {
+                    fr.ip = InstrId::TERMINATOR;
+                }
+            }
+        }
+        SymMachine {
+            program,
+            config,
+            pool: state.pool,
+            path: state.path,
+            mem: state.mem,
+            threads: state.threads,
+            cur: state.cur,
+            lock_owner: state.lock_owner,
+            next_tid: state.next_tid,
+            inputs: state.inputs,
+            input_offsets: state.input_offsets,
+            origins: state.origins,
+            site_counts: state.site_counts,
+            clock: state.clock,
+            stats: state.stats,
+            heap_seq: state.heap_seq,
+            inc: state.inc,
+            checkpoints: vec![seed],
+            checkpoint_interval: config.checkpoint_every,
+            next_checkpoint_at: usize::MAX,
+            start_cursor: state.cursor,
         }
     }
 
     /// Follows `events` to the end; `failure` is the production failure the
-    /// trace leads to (`None` for a trace of a completed run).
+    /// trace leads to (`None` for a trace of a completed run). A machine
+    /// built by [`SymMachine::resume`] starts at its snapshot's cursor.
     pub fn run(mut self, events: &[TraceEvent], failure: Option<&Failure>) -> SymRunResult {
-        let status = self.run_loop(events, failure);
+        let base = self.stats;
+        self.next_checkpoint_at = if self.checkpoint_interval > 0 {
+            self.start_cursor + self.checkpoint_interval as usize
+        } else {
+            usize::MAX
+        };
+        let start = self.start_cursor;
+        let status = self.run_loop(events, failure, start);
         let mut stall_subject = None;
         let (status, failure_constraint) = match status {
             Ok(fc) => (ShepherdStatus::Completed, fc),
@@ -282,13 +469,17 @@ impl<'p> SymMachine<'p> {
         let longest_chain = self.mem.longest_write_chain(&self.pool);
         if er_telemetry::enabled() {
             // One batched update per shepherded run; the step loop carries
-            // only plain field increments.
-            er_telemetry::counter!("symex.steps").add(self.stats.steps);
-            er_telemetry::counter!("symex.solver_queries").add(self.stats.solver_queries);
-            er_telemetry::counter!("symex.forks_shepherded").add(self.stats.forks_shepherded);
-            er_telemetry::counter!("symex.mem_reads").add(self.stats.mem_reads);
-            er_telemetry::counter!("symex.mem_writes").add(self.stats.mem_writes);
-            er_telemetry::counter!("symex.ptw_bound").add(self.stats.ptw_bound);
+            // only plain field increments. Deltas, not totals: a resumed
+            // run inherits its snapshot's counters and must only report the
+            // work it actually did.
+            er_telemetry::counter!("symex.steps").add(self.stats.steps - base.steps);
+            er_telemetry::counter!("symex.solver_queries")
+                .add(self.stats.solver_queries - base.solver_queries);
+            er_telemetry::counter!("symex.forks_shepherded")
+                .add(self.stats.forks_shepherded - base.forks_shepherded);
+            er_telemetry::counter!("symex.mem_reads").add(self.stats.mem_reads - base.mem_reads);
+            er_telemetry::counter!("symex.mem_writes").add(self.stats.mem_writes - base.mem_writes);
+            er_telemetry::counter!("symex.ptw_bound").add(self.stats.ptw_bound - base.ptw_bound);
             er_telemetry::histogram!("symex.write_chain_len").record(longest_chain);
         }
         SymRunResult {
@@ -302,7 +493,80 @@ impl<'p> SymMachine<'p> {
             longest_chain,
             stall_subject,
             stats: self.stats,
+            checkpoints: self.checkpoints,
         }
+    }
+
+    /// Captures a resumable snapshot at event position `cursor`. Frame
+    /// instruction pointers sitting at a block's end are normalized to the
+    /// TERMINATOR sentinel so the snapshot can be interpreted without this
+    /// machine's program (block lengths change under re-instrumentation).
+    fn snapshot(&self, cursor: usize) -> MachineState {
+        let mut threads = self.threads.clone();
+        for t in &mut threads {
+            for fr in &mut t.frames {
+                let len = self.program.func(fr.func).block(fr.block).instrs.len();
+                if fr.ip >= len {
+                    fr.ip = InstrId::TERMINATOR;
+                }
+            }
+        }
+        MachineState {
+            cursor,
+            pool: self.pool.clone(),
+            path: self.path.clone(),
+            mem: self.mem.clone(),
+            threads,
+            cur: self.cur,
+            lock_owner: self.lock_owner.clone(),
+            next_tid: self.next_tid,
+            inputs: self.inputs.clone(),
+            input_offsets: self.input_offsets.clone(),
+            origins: self.origins.clone(),
+            site_counts: self.site_counts.clone(),
+            clock: self.clock,
+            stats: self.stats,
+            heap_seq: self.heap_seq,
+            inc: self.inc.clone(),
+        }
+    }
+
+    const MAX_CHECKPOINTS: usize = 8;
+
+    fn take_checkpoint(&mut self, cursor: usize) {
+        if self.checkpoints.len() >= Self::MAX_CHECKPOINTS {
+            // Thin the ring: drop every other snapshot and double the
+            // interval, keeping bounded memory with coverage of the whole
+            // run (the densest snapshots stay near the start, where a new
+            // trace's shared prefix is most likely to end).
+            let mut keep = false;
+            self.checkpoints.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.checkpoint_interval = self.checkpoint_interval.saturating_mul(2);
+        }
+        self.checkpoints.push(self.snapshot(cursor));
+        self.next_checkpoint_at = cursor + self.checkpoint_interval as usize;
+    }
+
+    /// One solver query against the current path condition plus
+    /// `assumptions`, routed through the persistent incremental engine (or
+    /// a throwaway one in the non-incremental baseline mode).
+    fn query(&mut self, assumptions: &[ExprRef], budget: &Budget) -> SatResult {
+        self.stats.solver_queries += 1;
+        let (r, work) = if self.config.incremental_solver {
+            let r = self
+                .inc
+                .check_assuming(&mut self.pool, &self.path, assumptions, budget);
+            (r, self.inc.last_stats().work_units())
+        } else {
+            let mut fresh = IncrementalSolver::new();
+            let r = fresh.check_assuming(&mut self.pool, &self.path, assumptions, budget);
+            (r, fresh.last_stats().work_units())
+        };
+        self.stats.work_units += work;
+        r
     }
 
     fn position(&self) -> InstrId {
@@ -356,9 +620,13 @@ impl<'p> SymMachine<'p> {
         &mut self,
         events: &[TraceEvent],
         failure: Option<&Failure>,
+        start_cursor: usize,
     ) -> Result<Option<ExprRef>, Stop> {
-        let mut cursor = 0usize;
+        let mut cursor = start_cursor;
         loop {
+            if self.config.checkpoint_every > 0 && cursor >= self.next_checkpoint_at {
+                self.take_checkpoint(cursor);
+            }
             // Timestamps are informational. A resume of the *currently
             // running* thread is a quantum boundary — a scheduling no-op
             // here, consumed greedily so it cannot later be mistaken for a
@@ -552,25 +820,16 @@ impl<'p> SymMachine<'p> {
             SymValue::Concrete(a) => Ok(MemTarget::Concrete(a)),
             SymValue::Sym(_) => {
                 let e = addr.to_expr(&mut self.pool, 64);
-                self.stats.solver_queries += 1;
                 let budget = self.config.solver_budget;
-                let model = {
-                    let mut solver = Solver::new(&mut self.pool);
-                    for &c in &self.path {
-                        solver.assert(c);
+                let model = match self.query(&[], &budget) {
+                    SatResult::Sat(m) => m,
+                    SatResult::Unsat => {
+                        return Err(Stop::Diverge(TraceDivergence::UnexpectedFault {
+                            fault: RuntimeFault::Unmapped { addr: 0 },
+                            at,
+                        }))
                     }
-                    let r = solver.check(&budget);
-                    self.stats.work_units += solver.last_stats().work_units();
-                    match r {
-                        SatResult::Sat(m) => m,
-                        SatResult::Unsat => {
-                            return Err(Stop::Diverge(TraceDivergence::UnexpectedFault {
-                                fault: RuntimeFault::Unmapped { addr: 0 },
-                                at,
-                            }))
-                        }
-                        SatResult::Unknown(reason) => return Err(Stop::Stall(reason, Some(e))),
-                    }
+                    SatResult::Unknown(reason) => return Err(Stop::Stall(reason, Some(e))),
                 };
                 let v = model.eval(&self.pool, e);
                 // Uniqueness: UNSAT(path ∧ e != v) means e is forced to v.
@@ -578,16 +837,7 @@ impl<'p> SymMachine<'p> {
                 // sound under-approximation that avoids stalling here.
                 let vc = self.pool.bv_const(v, 64);
                 let ne = self.pool.ne(e, vc);
-                self.stats.solver_queries += 1;
-                let unique = {
-                    let mut solver = Solver::new(&mut self.pool);
-                    for &c in &self.path {
-                        solver.assert(c);
-                    }
-                    let r = solver.check_assuming(&[ne], &budget);
-                    self.stats.work_units += solver.last_stats().work_units();
-                    matches!(r, SatResult::Unsat)
-                };
+                let unique = matches!(self.query(&[ne], &budget), SatResult::Unsat);
                 if unique || self.config.always_concretize {
                     let eq = self.pool.cmp(CmpKind::Eq, e, vc);
                     self.push_constraint(eq);
@@ -613,19 +863,10 @@ impl<'p> SymMachine<'p> {
                 let lt = self.pool.cmp(CmpKind::Ult, e, hi);
                 let inside = self.pool.and(ge, lt);
                 let outside = self.pool.not(inside);
-                self.stats.solver_queries += 1;
                 // If containment cannot be proved (SAT or inconclusive),
                 // fall through to concretization — always sound, since any
                 // feasible address yields a valid stronger path.
-                let contained = {
-                    let mut solver = Solver::new(&mut self.pool);
-                    for &c in &self.path {
-                        solver.assert(c);
-                    }
-                    let r = solver.check_assuming(&[outside], &budget);
-                    self.stats.work_units += solver.last_stats().work_units();
-                    matches!(r, SatResult::Unsat)
-                };
+                let contained = matches!(self.query(&[outside], &budget), SatResult::Unsat);
                 if contained {
                     self.stats.symbolic_accesses += 1;
                     Ok(MemTarget::Symbolic { base, expr: e })
@@ -1305,14 +1546,14 @@ mod tests {
 
     /// Solves path + failure constraint and extracts input bytes.
     fn generate_inputs(result: &mut SymRunResult) -> Vec<(u32, Vec<u8>)> {
-        let mut solver = Solver::new(&mut result.pool);
-        for &c in &result.path {
-            solver.assert(c);
-        }
+        let mut constraints = result.path.clone();
         if let Some(fc) = result.failure_constraint {
-            solver.assert(fc);
+            constraints.push(fc);
         }
-        let SatResult::Sat(model) = solver.check(&Budget::default()) else {
+        let mut solver = IncrementalSolver::new();
+        let SatResult::Sat(model) =
+            solver.check(&mut result.pool, &constraints, &Budget::default())
+        else {
             panic!("path must be satisfiable");
         };
         let mut streams: HashMap<u32, Vec<u8>> = HashMap::new();
@@ -1501,6 +1742,7 @@ mod tests {
             solver_budget: Budget::small(),
             max_steps: 10_000_000,
             always_concretize: false,
+            ..SymConfig::default()
         };
         let result = SymMachine::new(&program, config).run(&events, Some(&failure));
         assert!(

@@ -42,7 +42,7 @@ pub struct SymObject {
 }
 
 /// The symbolic address space.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SymMemory {
     concrete: Memory,
     overlay: HashMap<u64, ExprRef>,

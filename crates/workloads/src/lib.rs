@@ -108,6 +108,7 @@ impl Workload {
                 },
                 max_steps: 500_000_000,
                 always_concretize: false,
+                ..SymConfig::default()
             },
             final_budget: Budget {
                 max_conflicts: 200_000,

@@ -115,6 +115,7 @@ fn iterative_loop_records_and_converges() {
             solver_budget: Budget::small(),
             max_steps: 50_000_000,
             always_concretize: false,
+            ..SymConfig::default()
         },
         final_budget: Budget::small(),
         ..ErConfig::default()
@@ -213,6 +214,7 @@ fn random_selection_fails_where_key_value_succeeds() {
             solver_budget: Budget::small(),
             max_steps: 50_000_000,
             always_concretize: false,
+            ..SymConfig::default()
         },
         final_budget: Budget::small(),
         selector,

@@ -111,6 +111,7 @@ fn fig3_reconstructs_through_the_iterative_loop() {
             },
             max_steps: 10_000_000,
             always_concretize: false,
+            ..SymConfig::default()
         },
         final_budget: Budget {
             max_conflicts: 50_000,

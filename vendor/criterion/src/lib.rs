@@ -227,7 +227,17 @@ mod tests {
     fn bencher_measures_nonzero_time() {
         let mut measured = Duration::ZERO;
         run_one("self_test", None, |b| {
-            b.iter(|| black_box(1u64).wrapping_mul(3));
+            // The benched body must cost well over a nanosecond per
+            // iteration: `elapsed_per_iter` is truncated to whole
+            // nanoseconds, so a sub-ns closure can legitimately measure
+            // zero and turn this self-test flaky.
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(black_box(i).wrapping_mul(3));
+                }
+                acc
+            });
             measured = b.elapsed_per_iter;
         });
         assert!(measured > Duration::ZERO);
