@@ -37,12 +37,39 @@ const EFFORT: &[&str] = &[
     "select.graph_nodes",
 ];
 
+/// Fleet counters rendered in the per-fleet-run table, in column order.
+/// All `fleet.*` counters are bumped on the simulator's driver thread,
+/// so the enclosing `fleet.run` span's counter delta accounts for each
+/// exactly once per fleet run.
+const FLEET: &[(&str, &str)] = &[
+    ("Inst", "fleet.instances"),
+    ("Rounds", "fleet.rounds"),
+    ("Occurr", "fleet.occurrences"),
+    ("Ingested", "fleet.ingest.accepted"),
+    ("Backpr", "fleet.ingest.backpressure"),
+    ("Puts", "fleet.store.puts"),
+    ("Dedup", "fleet.store.dedup_hits"),
+    ("Evict", "fleet.store.evictions"),
+    ("Groups", "fleet.triage.groups"),
+    ("Consumed", "fleet.sched.consumed"),
+    ("Stale", "fleet.sched.stale_dropped"),
+    ("Rollouts", "fleet.sched.rollouts"),
+];
+
 #[derive(Default, Serialize)]
 struct WorkloadReport {
     name: String,
     iterations: u64,
     phase_ns: BTreeMap<String, u64>,
     effort: BTreeMap<String, u64>,
+}
+
+#[derive(Default, Serialize)]
+struct FleetRunReport {
+    name: String,
+    runs: u64,
+    wall_ns: u64,
+    counters: BTreeMap<String, u64>,
 }
 
 fn main() {
@@ -159,10 +186,73 @@ fn main() {
         &effort_rows,
     );
 
+    // Fleet-simulation runs: one `fleet.run` span per `er_fleet::Fleet::run`,
+    // tagged with the workload/fleet label; its counter deltas carry every
+    // `fleet.*` counter of that run.
+    let mut fleet_runs: BTreeMap<String, FleetRunReport> = BTreeMap::new();
+    for ev in &events {
+        if ev.kind != "span" || ev.name != "fleet.run" {
+            continue;
+        }
+        let ctx = if ev.ctx.is_empty() {
+            "(untagged)".to_string()
+        } else {
+            ev.ctx.clone()
+        };
+        let rep = fleet_runs
+            .entry(ctx.clone())
+            .or_insert_with(|| FleetRunReport {
+                name: ctx,
+                ..FleetRunReport::default()
+            });
+        rep.runs += 1;
+        rep.wall_ns += ev.dur_ns;
+        for (cname, v) in &ev.counters {
+            if cname.starts_with("fleet.") {
+                *rep.counters.entry(cname.clone()).or_default() += v;
+            }
+        }
+    }
+    let fleet_reports: Vec<&FleetRunReport> = fleet_runs.values().collect();
+    if !fleet_reports.is_empty() {
+        let fleet_rows: Vec<Vec<String>> = fleet_reports
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.name.clone()];
+                for (_, c) in FLEET {
+                    row.push(r.counters.get(*c).copied().unwrap_or(0).to_string());
+                }
+                row.push(fmt_duration(Duration::from_nanos(r.wall_ns)));
+                row
+            })
+            .collect();
+        let mut header = vec!["Fleet"];
+        header.extend(FLEET.iter().map(|(label, _)| *label));
+        header.push("Wall");
+        print_table(
+            "Fleet simulation counters (per fleet.run span)",
+            &header,
+            &fleet_rows,
+        );
+    }
+
     println!(
-        "{} workloads, {} span events",
+        "{} workloads, {} fleet runs, {} span events",
         reports.len(),
+        fleet_reports.len(),
         events.iter().filter(|e| e.kind == "span").count()
     );
-    write_json("obs_report", &reports);
+    #[derive(Serialize)]
+    struct ObsReport {
+        workloads: Vec<WorkloadReport>,
+        fleet: Vec<FleetRunReport>,
+    }
+    drop((reports, fleet_reports));
+    write_json(
+        "obs_report",
+        &ObsReport {
+            workloads: by_workload.into_values().collect(),
+            fleet: fleet_runs.into_values().collect(),
+        },
+    );
 }

@@ -7,53 +7,12 @@
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Fans `f` out over `items` on a hand-rolled scoped worker pool
-/// (`std::thread` only), returning results in input order.
-///
-/// Workers pull the next unclaimed index from a shared atomic counter, so
-/// uneven per-item cost balances automatically. `serial` is the escape
-/// hatch the determinism regression compares against: it runs everything
-/// inline on the calling thread. Telemetry contexts are thread-local, so
-/// callers that tag their work (`er_telemetry::set_context`) must do it
-/// inside `f`, where it lands on the worker actually running the item.
-pub fn parallel_map<T, R, F>(items: &[T], serial: bool, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
-    if serial || workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let r = f(i, item);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
-}
+/// The shared worker pool now lives in `er-fleet` (production-side code
+/// needs it too); re-exported here so every bench binary keeps compiling
+/// against `harness::parallel_map` unchanged.
+pub use er_fleet::pool::parallel_map;
 
 /// Mean and standard error of repeated measurements.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -161,33 +120,6 @@ pub fn fmt_duration(d: Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parallel_map_preserves_input_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(&items, false, |i, &x| {
-            assert_eq!(i as u64, x);
-            x * 2
-        });
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_and_serial_agree() {
-        let items: Vec<u64> = (0..37).collect();
-        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
-        assert_eq!(
-            parallel_map(&items, false, f),
-            parallel_map(&items, true, f)
-        );
-    }
-
-    #[test]
-    fn parallel_map_handles_empty_and_single() {
-        let none: Vec<u32> = vec![];
-        assert!(parallel_map(&none, false, |_, &x| x).is_empty());
-        assert_eq!(parallel_map(&[7u32], false, |_, &x| x + 1), vec![8]);
-    }
 
     #[test]
     fn stats_mean_and_stderr() {

@@ -59,9 +59,14 @@ pub mod select;
 pub mod shepherd;
 pub mod testcase;
 
-pub use deploy::Deployment;
+pub use deploy::{
+    Deployment, DeploymentSource, FailureOccurrence, FailureSource, NextFailing, ReoccurrenceModel,
+};
 pub use graph::ConstraintGraph;
 pub use instrument::InstrumentedProgram;
-pub use reconstruct::{ErConfig, Outcome, ReconstructionReport, Reconstructor};
+pub use reconstruct::{
+    ErConfig, OccurrenceInfo, Outcome, ReconstructionReport, ReconstructionSession, Reconstructor,
+    SessionStep,
+};
 pub use select::{RecordingSet, SelectorKind};
 pub use testcase::TestCase;

@@ -7,14 +7,15 @@
 //! progress because every iteration concretizes at least the newly recorded
 //! values; it gives up only on divergence or after `max_occurrences`.
 
-use crate::deploy::Deployment;
+use crate::deploy::{Deployment, DeploymentSource, FailureOccurrence, FailureSource};
 use crate::graph::ConstraintGraph;
 use crate::instrument::InstrumentedProgram;
 use crate::select::{self, RecordingSet, SelectionInput, SelectorKind};
 use crate::shepherd::{self, SolveFailure};
 use crate::testcase::{TestCase, VerifyResult};
 use er_minilang::error::Failure;
-use er_minilang::ir::InstrId;
+use er_minilang::interp::SchedConfig;
+use er_minilang::ir::{InstrId, Program};
 use er_pt::TraceEvent;
 use er_solver::solve::Budget;
 use er_symex::{MachineState, ShepherdStatus, SymConfig, TraceDivergence};
@@ -204,285 +205,374 @@ fn align_schedules(a: &[TraceEvent], b: &[TraceEvent]) -> Vec<(usize, usize, usi
     }
 }
 
-/// The ER analysis engine.
-#[derive(Debug, Clone, Default)]
-pub struct Reconstructor {
-    config: ErConfig,
+/// Metadata of one failure occurrence, minus the trace itself. The fleet
+/// path stores traces compressed and re-derives events later, so the
+/// session accepts `(OccurrenceInfo, events)` instead of a raw
+/// [`FailureOccurrence`].
+#[derive(Debug, Clone)]
+pub struct OccurrenceInfo {
+    /// Which production run failed.
+    pub run_index: u64,
+    /// Dynamic instructions of the failing run.
+    pub instr_count: u64,
+    /// Trace bytes shipped (before compression).
+    pub trace_bytes: u64,
+    /// Scheduler configuration of the failing run.
+    pub sched: SchedConfig,
+    /// Failure identity in original coordinates.
+    pub failure: Failure,
+    /// Failure identity in instrumented coordinates.
+    pub failure_instrumented: Failure,
 }
 
-impl Reconstructor {
-    /// An engine with the given configuration.
-    pub fn new(config: ErConfig) -> Self {
-        Reconstructor { config }
+impl OccurrenceInfo {
+    /// The metadata of `occ`.
+    pub fn of(occ: &FailureOccurrence) -> Self {
+        OccurrenceInfo {
+            run_index: occ.run_index,
+            instr_count: occ.instr_count,
+            trace_bytes: occ.pt_stats.bytes,
+            sched: occ.sched,
+            failure: occ.failure.clone(),
+            failure_instrumented: occ.failure_instrumented.clone(),
+        }
+    }
+}
+
+/// What a [`ReconstructionSession`] needs next after consuming an
+/// occurrence.
+///
+/// `Done` carries the full report inline: it is constructed once per
+/// session, so boxing it would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SessionStep {
+    /// Feed another occurrence, produced under
+    /// [`ReconstructionSession::instrumented`] (which changed if
+    /// `reinstrumented` is true — redeploy before collecting).
+    NeedOccurrence {
+        /// The recording set grew; instances must roll out the new binary.
+        reinstrumented: bool,
+    },
+    /// Terminal: reconstruction finished (reproduced or gave up).
+    Done(ReconstructionReport),
+}
+
+/// One failure investigation, resumable between occurrences.
+///
+/// This is the per-failure-group state the fleet scheduler parks between
+/// reoccurrences: the accumulated recording set, the target failure, the
+/// iteration log, and the checkpoint cache. [`consume`](Self::consume) runs
+/// exactly one iteration of the paper's loop; the serial driver
+/// ([`Reconstructor::reconstruct`]) is now a thin wrapper that feeds it
+/// from a [`DeploymentSource`].
+#[derive(Debug)]
+pub struct ReconstructionSession {
+    config: ErConfig,
+    program: Program,
+    sites: Vec<InstrId>,
+    target: Option<Failure>,
+    iterations: Vec<IterationStats>,
+    total_symbex: Duration,
+    prev: Option<ResumeCache>,
+    occurrences: u32,
+}
+
+impl ReconstructionSession {
+    /// A fresh investigation of `program`.
+    pub fn new(config: ErConfig, program: Program) -> Self {
+        ReconstructionSession {
+            config,
+            program,
+            sites: Vec::new(),
+            target: None,
+            iterations: Vec::new(),
+            total_symbex: Duration::ZERO,
+            prev: None,
+            occurrences: 0,
+        }
     }
 
-    /// Reconstructs the first failure the deployment produces.
-    pub fn reconstruct(&self, deployment: &Deployment) -> ReconstructionReport {
+    /// The original (uninstrumented) program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The target failure, once one has been observed.
+    pub fn target(&self) -> Option<&Failure> {
+        self.target.as_ref()
+    }
+
+    /// Occurrences consumed so far (including untraced warmups).
+    pub fn occurrences(&self) -> u32 {
+        self.occurrences
+    }
+
+    /// The accumulated recording set (original coordinates).
+    pub fn sites(&self) -> &[InstrId] {
+        &self.sites
+    }
+
+    /// How many iterations stalled so far — the "how much more data does
+    /// this group still need" signal the fleet scheduler prioritizes by.
+    pub fn stall_depth(&self) -> u32 {
+        self.iterations
+            .iter()
+            .filter(|it| it.stalled.is_some())
+            .count() as u32
+    }
+
+    /// Whether another occurrence may still be consumed.
+    pub fn wants_more(&self) -> bool {
+        self.occurrences < self.config.max_occurrences
+    }
+
+    /// Records an *untraced* warmup observation (paper §3.1): counts toward
+    /// occurrences and pins the target, but is not analyzed.
+    pub fn note_untraced(&mut self, failure: Failure) {
+        self.occurrences += 1;
+        self.target.get_or_insert(failure);
+    }
+
+    /// Builds the binary the deployment must run for the next occurrence:
+    /// the program instrumented with the accumulated recording set.
+    pub fn instrumented(&self) -> InstrumentedProgram {
+        let _s = er_telemetry::span!("phase.instrument");
+        if self.sites.is_empty() {
+            InstrumentedProgram::unmodified(&self.program)
+        } else {
+            InstrumentedProgram::new(&self.program, &self.sites)
+        }
+    }
+
+    /// Consumes one traced occurrence: decodes the trace and runs one
+    /// iteration of the reconstruction loop. `inst` must be the
+    /// instrumentation that produced `occ` (i.e. a binary built by
+    /// [`instrumented`](Self::instrumented) since the last
+    /// `reinstrumented` step).
+    pub fn consume(&mut self, inst: &InstrumentedProgram, occ: FailureOccurrence) -> SessionStep {
+        let info = OccurrenceInfo::of(&occ);
+        let decoded = {
+            let _s = er_telemetry::span!("shepherd.decode");
+            occ.trace.decode()
+        };
+        match decoded {
+            Ok(d) => self.consume_events(inst, info, d.events),
+            Err(e) => self.note_undecodable(info, e.to_string()),
+        }
+    }
+
+    /// Consumes an occurrence whose trace could not be decoded — the fleet
+    /// ingestion path reports these without shipping events. Mirrors the
+    /// serial loop: the occurrence still counts, and the investigation
+    /// closes with [`GiveUpReason::TraceDecode`].
+    pub fn note_undecodable(&mut self, info: OccurrenceInfo, error: String) -> SessionStep {
+        self.occurrences += 1;
+        self.target.get_or_insert(info.failure);
+        SessionStep::Done(self.report(Outcome::GaveUp(GiveUpReason::TraceDecode(error))))
+    }
+
+    /// Like [`consume`](Self::consume), but on pre-decoded events — the
+    /// fleet ingestion path stores packets compressed and flattens them
+    /// with [`er_pt::packets_to_events`], which reproduces
+    /// [`er_pt::PtTrace::decode`] bit-for-bit.
+    pub fn consume_events(
+        &mut self,
+        inst: &InstrumentedProgram,
+        info: OccurrenceInfo,
+        events: Vec<TraceEvent>,
+    ) -> SessionStep {
         // IterationStats are derived from telemetry counter snapshots (one
         // source of truth), so collection must be live even when the user
-        // asked for no telemetry output; the guard raises `off` to
-        // `counters` for the duration of this call only.
+        // asked for no telemetry output.
         let _counters = er_telemetry::ensure_counters();
-        let _span = er_telemetry::span!("reconstruct");
-        let mut sites: Vec<InstrId> = Vec::new();
-        let mut target: Option<Failure> = None;
-        let mut next_run = 0u64;
-        let mut iterations: Vec<IterationStats> = Vec::new();
-        let mut total_symbex = Duration::ZERO;
-        let mut prev: Option<ResumeCache> = None;
+        self.occurrences += 1;
+        let occurrence = self.occurrences;
+        self.target.get_or_insert(info.failure.clone());
 
-        // Optional unmonitored warm-up: confirm the failure actually
-        // reoccurs before paying for always-on tracing.
-        let mut warmup_consumed = 0u32;
-        if self.config.tracing_warmup > 0 {
-            let inst = InstrumentedProgram::unmodified(deployment.program());
-            for _ in 0..self.config.tracing_warmup {
-                let Some((run, failure)) = deployment.observe_failure_untraced(
-                    &inst,
-                    target.as_ref(),
-                    next_run,
-                    self.config.max_runs_per_occurrence,
-                ) else {
-                    return self.give_up(
-                        GiveUpReason::NoFailureObserved,
-                        warmup_consumed,
-                        iterations,
-                        total_symbex,
-                        target,
-                    );
-                };
-                next_run = run + 1;
-                target.get_or_insert(failure);
-                warmup_consumed += 1;
-            }
-        }
+        // Checkpoint resume: if a previous occurrence left snapshots and
+        // the new trace agrees with the old one on a prefix, pick the
+        // latest snapshot inside that prefix and remap its instruction
+        // coordinates from the old instrumentation to the new one
+        // (through original coordinates). A snapshot parked on an
+        // instruction that no longer exists remaps to `None` and the
+        // next-older one is tried.
+        let resume_state = self
+            .prev
+            .as_ref()
+            .filter(|_| self.config.sym.checkpoint_every > 0)
+            .and_then(|cache| {
+                let aligned = align_schedules(&cache.events, &events);
+                cache
+                    .checkpoints
+                    .iter()
+                    .rev()
+                    .filter_map(|s| {
+                        let c = s.cursor();
+                        let &(_, _, new_cursor) = aligned
+                            .iter()
+                            .find(|&&(from, to, _)| from <= c && c <= to)?;
+                        Some((s, new_cursor))
+                    })
+                    .find_map(|(s, new_cursor)| {
+                        s.clone()
+                            .remap_sites(&inst.program, |id| {
+                                cache.inst.to_original(id).map(|o| inst.from_original(o))
+                            })
+                            .map(|s| s.with_cursor(new_cursor))
+                    })
+            });
 
-        for occurrence in (warmup_consumed + 1)..=self.config.max_occurrences {
-            let _iter_span = er_telemetry::span!("reconstruct.iteration");
-            let inst = {
-                let _s = er_telemetry::span!("phase.instrument");
-                if sites.is_empty() {
-                    InstrumentedProgram::unmodified(deployment.program())
-                } else {
-                    InstrumentedProgram::new(deployment.program(), &sites)
-                }
-            };
-            let deployed = {
-                let _s = er_telemetry::span!("phase.deploy");
-                deployment.run_until_failure(
-                    &inst,
-                    target.as_ref(),
-                    next_run,
-                    self.config.max_runs_per_occurrence,
-                )
-            };
-            let Some(occ) = deployed else {
-                return self.give_up(
-                    GiveUpReason::NoFailureObserved,
-                    occurrence - 1,
-                    iterations,
-                    total_symbex,
-                    target,
-                );
-            };
-            next_run = occ.run_index + 1;
-            if target.is_none() {
-                target = Some(occ.failure.clone());
-            }
-
-            let decoded = {
-                let _s = er_telemetry::span!("shepherd.decode");
-                match occ.trace.decode() {
-                    Ok(d) => d,
-                    Err(e) => {
-                        return self.give_up(
-                            GiveUpReason::TraceDecode(e.to_string()),
-                            occurrence,
-                            iterations,
-                            total_symbex,
-                            target,
-                        )
-                    }
-                }
-            };
-            let events = decoded.events;
-
-            // Checkpoint resume: if a previous occurrence left snapshots and
-            // the new trace agrees with the old one on a prefix, pick the
-            // latest snapshot inside that prefix and remap its instruction
-            // coordinates from the old instrumentation to the new one
-            // (through original coordinates). A snapshot parked on an
-            // instruction that no longer exists remaps to `None` and the
-            // next-older one is tried.
-            let resume_state = prev
-                .as_ref()
-                .filter(|_| self.config.sym.checkpoint_every > 0)
-                .and_then(|cache| {
-                    let aligned = align_schedules(&cache.events, &events);
-                    cache
-                        .checkpoints
-                        .iter()
-                        .rev()
-                        .filter_map(|s| {
-                            let c = s.cursor();
-                            let &(_, _, new_cursor) = aligned
-                                .iter()
-                                .find(|&&(from, to, _)| from <= c && c <= to)?;
-                            Some((s, new_cursor))
-                        })
-                        .find_map(|(s, new_cursor)| {
-                            s.clone()
-                                .remap_sites(&inst.program, |id| {
-                                    cache.inst.to_original(id).map(|o| inst.from_original(o))
-                                })
-                                .map(|s| s.with_cursor(new_cursor))
-                        })
-                });
-
-            // Counter deltas around the shepherded execution are the single
-            // source of truth for per-iteration effort: the same numbers
-            // feed IterationStats here and the journal's span events.
-            let snap_before = er_telemetry::local_snapshot();
-            let report = match resume_state {
-                Some(state) => {
-                    er_telemetry::counter!("symex.checkpoint_resumes").incr();
-                    shepherd::shepherd_resume(
-                        &inst.program,
-                        &events,
-                        Some(&occ.failure_instrumented),
-                        self.config.sym,
-                        state,
-                    )
-                }
-                None => shepherd::shepherd_events(
+        // Counter deltas around the shepherded execution are the single
+        // source of truth for per-iteration effort: the same numbers
+        // feed IterationStats here and the journal's span events.
+        let snap_before = er_telemetry::local_snapshot();
+        let report = match resume_state {
+            Some(state) => {
+                er_telemetry::counter!("symex.checkpoint_resumes").incr();
+                shepherd::shepherd_resume(
                     &inst.program,
                     &events,
-                    Some(&occ.failure_instrumented),
+                    Some(&info.failure_instrumented),
                     self.config.sym,
-                ),
-            };
-            let shepherd_delta = er_telemetry::local_snapshot().delta(&snap_before);
-            total_symbex += report.wall;
-            let mut run = report.run;
-            let checkpoints = std::mem::take(&mut run.checkpoints);
-            let mut stats = IterationStats {
-                occurrence,
-                run_index: occ.run_index,
-                instr_count: occ.instr_count,
-                trace_bytes: occ.pt_stats.bytes,
-                symbex_wall: report.wall,
-                symbex_steps: shepherd_delta.get("symex.steps"),
-                solver_work: shepherd_delta.get("solver.work_units"),
-                stalled: None,
-                graph_nodes: run.pool.len(),
-                longest_chain: run.longest_chain,
-                sites_selected: 0,
-                recorded_bytes: 0,
-                new_sites: Vec::new(),
-            };
+                    state,
+                )
+            }
+            None => shepherd::shepherd_events(
+                &inst.program,
+                &events,
+                Some(&info.failure_instrumented),
+                self.config.sym,
+            ),
+        };
+        let shepherd_delta = er_telemetry::local_snapshot().delta(&snap_before);
+        self.total_symbex += report.wall;
+        let mut run = report.run;
+        let checkpoints = std::mem::take(&mut run.checkpoints);
+        let mut stats = IterationStats {
+            occurrence,
+            run_index: info.run_index,
+            instr_count: info.instr_count,
+            trace_bytes: info.trace_bytes,
+            symbex_wall: report.wall,
+            symbex_steps: shepherd_delta.get("symex.steps"),
+            solver_work: shepherd_delta.get("solver.work_units"),
+            stalled: None,
+            graph_nodes: run.pool.len(),
+            longest_chain: run.longest_chain,
+            sites_selected: 0,
+            recorded_bytes: 0,
+            new_sites: Vec::new(),
+        };
 
-            let stalled = match &run.status {
-                ShepherdStatus::Completed => {
-                    match shepherd::solve_inputs(&mut run, &self.config.final_budget) {
-                        Ok(inputs) => {
-                            let tc = TestCase {
-                                inputs,
-                                sched: occ.sched,
-                                expected: target.clone().expect("target set"),
-                            };
-                            let verify = tc.verify(deployment.program());
-                            iterations.push(stats);
-                            return if matches!(verify, VerifyResult::Reproduced { .. }) {
-                                ReconstructionReport {
-                                    outcome: Outcome::Reproduced(tc),
-                                    occurrences: occurrence,
-                                    iterations,
-                                    total_symbex,
-                                    target,
-                                }
-                            } else {
-                                ReconstructionReport {
-                                    outcome: Outcome::GaveUp(GiveUpReason::VerificationFailed),
-                                    occurrences: occurrence,
-                                    iterations,
-                                    total_symbex,
-                                    target,
-                                }
-                            };
-                        }
-                        Err(SolveFailure::Stall(reason)) => format!("final solve: {reason}"),
-                        Err(SolveFailure::Unsat) => {
-                            iterations.push(stats);
-                            return self.give_up(
-                                GiveUpReason::Unsat,
-                                occurrence,
-                                iterations,
-                                total_symbex,
-                                target,
-                            );
-                        }
+        let stalled = match &run.status {
+            ShepherdStatus::Completed => {
+                match shepherd::solve_inputs(&mut run, &self.config.final_budget) {
+                    Ok(inputs) => {
+                        let tc = TestCase {
+                            inputs,
+                            sched: info.sched,
+                            expected: self.target.clone().expect("target set"),
+                        };
+                        let verify = tc.verify(&self.program);
+                        self.iterations.push(stats);
+                        let outcome = if matches!(verify, VerifyResult::Reproduced { .. }) {
+                            Outcome::Reproduced(tc)
+                        } else {
+                            Outcome::GaveUp(GiveUpReason::VerificationFailed)
+                        };
+                        return SessionStep::Done(self.report(outcome));
+                    }
+                    Err(SolveFailure::Stall(reason)) => format!("final solve: {reason}"),
+                    Err(SolveFailure::Unsat) => {
+                        self.iterations.push(stats);
+                        return SessionStep::Done(
+                            self.report(Outcome::GaveUp(GiveUpReason::Unsat)),
+                        );
                     }
                 }
-                ShepherdStatus::Stalled { reason, at } => format!("{reason} at {at}"),
-                ShepherdStatus::Diverged(d) => {
-                    // Most divergences come from interleavings finer than
-                    // the chunk order can express (§3.4). The paper's remedy
-                    // is the iterative loop itself: wait for the failure to
-                    // reoccur — the next occurrence's schedule may satisfy
-                    // the coarse-interleaving hypothesis.
-                    stats.stalled = Some(format!("diverged: {d:?}"));
-                    iterations.push(stats);
-                    prev = Some(ResumeCache {
-                        events,
-                        inst,
-                        checkpoints,
-                    });
-                    continue;
-                }
-            };
-            stats.stalled = Some(stalled);
-
-            // Key data value selection on the constraint graph, with ids
-            // translated back to original program coordinates.
-            let set = {
-                let _s = er_telemetry::span!("phase.select");
-                self.select(&run, &inst, occurrence)
-            };
-            let new_sites: Vec<InstrId> = set
-                .site_ids()
-                .into_iter()
-                .filter(|s| !sites.contains(s))
-                .collect();
-            stats.sites_selected = new_sites.len();
-            stats.recorded_bytes = set.total_cost();
-            stats.new_sites = new_sites.clone();
-            iterations.push(stats);
-            if new_sites.is_empty() {
-                return self.give_up(
-                    GiveUpReason::NothingToRecord,
-                    occurrence,
-                    iterations,
-                    total_symbex,
-                    target,
-                );
             }
-            sites.extend(new_sites);
-            sites.sort_unstable();
-            sites.dedup();
-            prev = Some(ResumeCache {
-                events,
-                inst,
-                checkpoints,
-            });
-        }
+            ShepherdStatus::Stalled { reason, at } => format!("{reason} at {at}"),
+            ShepherdStatus::Diverged(d) => {
+                // Most divergences come from interleavings finer than
+                // the chunk order can express (§3.4). The paper's remedy
+                // is the iterative loop itself: wait for the failure to
+                // reoccur — the next occurrence's schedule may satisfy
+                // the coarse-interleaving hypothesis.
+                stats.stalled = Some(format!("diverged: {d:?}"));
+                self.iterations.push(stats);
+                self.prev = Some(ResumeCache {
+                    events,
+                    inst: inst.clone(),
+                    checkpoints,
+                });
+                return self.need_more(false);
+            }
+        };
+        stats.stalled = Some(stalled);
 
-        self.give_up(
-            GiveUpReason::OccurrenceLimit,
-            self.config.max_occurrences,
-            iterations,
-            total_symbex,
-            target,
-        )
+        // Key data value selection on the constraint graph, with ids
+        // translated back to original program coordinates.
+        let set = {
+            let _s = er_telemetry::span!("phase.select");
+            self.select(&run, inst, occurrence)
+        };
+        let new_sites: Vec<InstrId> = set
+            .site_ids()
+            .into_iter()
+            .filter(|s| !self.sites.contains(s))
+            .collect();
+        stats.sites_selected = new_sites.len();
+        stats.recorded_bytes = set.total_cost();
+        stats.new_sites = new_sites.clone();
+        self.iterations.push(stats);
+        if new_sites.is_empty() {
+            return SessionStep::Done(self.report(Outcome::GaveUp(GiveUpReason::NothingToRecord)));
+        }
+        self.sites.extend(new_sites);
+        self.sites.sort_unstable();
+        self.sites.dedup();
+        self.prev = Some(ResumeCache {
+            events,
+            inst: inst.clone(),
+            checkpoints,
+        });
+        self.need_more(true)
+    }
+
+    /// Either asks for another occurrence or, at the occurrence limit,
+    /// closes the investigation exactly like the serial loop's exit.
+    fn need_more(&mut self, reinstrumented: bool) -> SessionStep {
+        if self.occurrences >= self.config.max_occurrences {
+            SessionStep::Done(self.give_up(GiveUpReason::OccurrenceLimit))
+        } else {
+            SessionStep::NeedOccurrence { reinstrumented }
+        }
+    }
+
+    /// Closes the investigation unsuccessfully (e.g. the source stopped
+    /// producing occurrences). The session is spent afterwards.
+    pub fn give_up(&mut self, reason: GiveUpReason) -> ReconstructionReport {
+        // The serial loop reports the occurrence *limit* when it exhausts
+        // the budget, even if warmups overshot it.
+        let occurrences = if matches!(reason, GiveUpReason::OccurrenceLimit) {
+            self.config.max_occurrences
+        } else {
+            self.occurrences
+        };
+        let mut report = self.report(Outcome::GaveUp(reason));
+        report.occurrences = occurrences;
+        report
+    }
+
+    fn report(&mut self, outcome: Outcome) -> ReconstructionReport {
+        ReconstructionReport {
+            outcome,
+            occurrences: self.occurrences,
+            iterations: std::mem::take(&mut self.iterations),
+            total_symbex: self.total_symbex,
+            target: self.target.clone(),
+        }
     }
 
     fn select(
@@ -546,21 +636,68 @@ impl Reconstructor {
             }
         }
     }
+}
 
-    fn give_up(
-        &self,
-        reason: GiveUpReason,
-        occurrences: u32,
-        iterations: Vec<IterationStats>,
-        total_symbex: Duration,
-        target: Option<Failure>,
-    ) -> ReconstructionReport {
-        ReconstructionReport {
-            outcome: Outcome::GaveUp(reason),
-            occurrences,
-            iterations,
-            total_symbex,
-            target,
+/// The ER analysis engine.
+#[derive(Debug, Clone, Default)]
+pub struct Reconstructor {
+    config: ErConfig,
+}
+
+impl Reconstructor {
+    /// An engine with the given configuration.
+    pub fn new(config: ErConfig) -> Self {
+        Reconstructor { config }
+    }
+
+    /// Reconstructs the first failure the deployment produces.
+    pub fn reconstruct(&self, deployment: &Deployment) -> ReconstructionReport {
+        let mut source = DeploymentSource::new(deployment, self.config.max_runs_per_occurrence);
+        self.reconstruct_from(&mut source)
+    }
+
+    /// Reconstructs the first failure `source` produces — the fleet-aware
+    /// entry point: any [`FailureSource`] (one deployment, or a pool of
+    /// instances) can feed the loop.
+    pub fn reconstruct_from(&self, source: &mut dyn FailureSource) -> ReconstructionReport {
+        // Counter collection must be live even when the user asked for no
+        // telemetry output; the guard raises `off` to `counters` for the
+        // duration of this call only.
+        let _counters = er_telemetry::ensure_counters();
+        let _span = er_telemetry::span!("reconstruct");
+        let mut session = ReconstructionSession::new(self.config, source.program().clone());
+
+        // Optional unmonitored warm-up: confirm the failure actually
+        // reoccurs before paying for always-on tracing.
+        if self.config.tracing_warmup > 0 {
+            let inst = InstrumentedProgram::unmodified(session.program());
+            for _ in 0..self.config.tracing_warmup {
+                let target = session.target().cloned();
+                match source.next_untraced(&inst, target.as_ref()) {
+                    Some((_, failure)) => session.note_untraced(failure),
+                    None => return session.give_up(GiveUpReason::NoFailureObserved),
+                }
+            }
+        }
+
+        loop {
+            if !session.wants_more() {
+                return session.give_up(GiveUpReason::OccurrenceLimit);
+            }
+            let _iter_span = er_telemetry::span!("reconstruct.iteration");
+            let inst = session.instrumented();
+            let deployed = {
+                let _s = er_telemetry::span!("phase.deploy");
+                let target = session.target().cloned();
+                source.next_occurrence(&inst, target.as_ref())
+            };
+            let Some(occ) = deployed else {
+                return session.give_up(GiveUpReason::NoFailureObserved);
+            };
+            match session.consume(&inst, occ) {
+                SessionStep::Done(report) => return report,
+                SessionStep::NeedOccurrence { .. } => {}
+            }
         }
     }
 }
@@ -571,7 +708,7 @@ mod tests {
     use er_minilang::compile;
     use er_minilang::env::Env;
 
-    fn deploy(src: &str, input_gen: impl Fn(u64) -> Env + 'static) -> Deployment {
+    fn deploy(src: &str, input_gen: impl Fn(u64) -> Env + Send + Sync + 'static) -> Deployment {
         Deployment::new(compile(src).unwrap(), input_gen)
     }
 

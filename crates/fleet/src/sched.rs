@@ -1,0 +1,388 @@
+//! The concurrent reconstruction scheduler.
+//!
+//! One [`ReconstructionSession`] per failure group, parked between
+//! reoccurrences. Each analyze round picks the highest-priority groups —
+//! priority is reoccurrence rate × (1 + stall depth), i.e. "fails often
+//! and still needs data" — and drives at most `max_concurrent` of them one
+//! iteration each, fanning out over [`crate::pool::parallel_map`].
+//!
+//! Version discipline keeps the fleet path bit-identical to the serial
+//! loop: a group only consumes occurrences produced by its *current*
+//! instrumented binary, in run order, and never re-consumes a run it has
+//! already advanced past. When an iteration grows the recording set, the
+//! group's version bumps, queued stale occurrences are dropped (counted),
+//! and the new binary rolls out to the instrumented slice of instances.
+
+use crate::ingest::PendingOccurrence;
+use crate::pool;
+use crate::store::TraceStore;
+use er_core::instrument::InstrumentedProgram;
+use er_core::reconstruct::{
+    ErConfig, GiveUpReason, ReconstructionReport, ReconstructionSession, SessionStep,
+};
+use er_minilang::ir::Program;
+use er_pt::packets_to_events;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// Scheduler policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Reconstruction iterations driven concurrently per analyze round.
+    pub max_concurrent: usize,
+    /// Fraction of instances that receive a group's instrumented binary
+    /// (at least one instance always does).
+    pub rollout: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_concurrent: 2,
+            rollout: 1.0,
+        }
+    }
+}
+
+/// One failure group's investigation state.
+#[derive(Debug)]
+pub struct GroupState {
+    /// Group id (signature hash).
+    pub id: u64,
+    /// Short label for telemetry context.
+    pub label: String,
+    /// Current instrumentation version (0 = uninstrumented).
+    pub version: u32,
+    session: ReconstructionSession,
+    inst: InstrumentedProgram,
+    pending: VecDeque<PendingOccurrence>,
+    /// Runs at or below this index are already consumed; later-arriving
+    /// occurrences of them are duplicates from other instances.
+    next_run: u64,
+    /// Final report, once the investigation closed.
+    pub report: Option<ReconstructionReport>,
+    /// Analyze rounds in which this group consumed an occurrence.
+    pub iterations: u64,
+    /// Total sightings across all instances (triage's count, including
+    /// redundant ones) — the numerator of the reoccurrence rate.
+    pub occurrences_seen: u64,
+}
+
+impl GroupState {
+    /// Whether this group still wants occurrences.
+    fn open(&self) -> bool {
+        self.report.is_none() && self.session.wants_more()
+    }
+
+    /// The oldest queued occurrence consumable right now: produced by the
+    /// current-version binary for this group (or the baseline binary while
+    /// the group is still at version 0), at a run not yet consumed.
+    fn next_eligible(&self) -> Option<usize> {
+        self.pending.iter().position(|p| {
+            p.version == self.version
+                && (p.for_group.is_none() || p.for_group == Some(self.id))
+                && p.info.run_index >= self.next_run
+        })
+    }
+
+    /// Stall depth of the underlying session.
+    pub fn stall_depth(&self) -> u32 {
+        self.session.stall_depth()
+    }
+}
+
+/// What one analyze iteration did to a group.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum StepOutcome {
+    /// Consumed an occurrence; the group wants another under the same
+    /// binary.
+    NeedMore,
+    /// Consumed an occurrence; the recording set grew and version bumped.
+    Reinstrumented,
+    /// The investigation closed (report available on the group).
+    Closed,
+}
+
+/// The per-fleet scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    er: ErConfig,
+    policy: SchedulerConfig,
+    groups: BTreeMap<u64, GroupState>,
+}
+
+impl Scheduler {
+    /// A scheduler creating sessions with `er` for every new group.
+    pub fn new(er: ErConfig, policy: SchedulerConfig) -> Scheduler {
+        Scheduler {
+            er,
+            policy,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Ensures a group exists, creating its session on first sight.
+    pub fn note_group(&mut self, id: u64, program: &Program, label: &str) {
+        let er = self.er;
+        self.groups.entry(id).or_insert_with(|| {
+            let session = ReconstructionSession::new(er, program.clone());
+            let inst = session.instrumented();
+            GroupState {
+                id,
+                label: label.to_string(),
+                version: 0,
+                session,
+                inst,
+                pending: VecDeque::new(),
+                next_run: 0,
+                report: None,
+                iterations: 0,
+                occurrences_seen: 0,
+            }
+        });
+    }
+
+    /// Refreshes each group's sighting count from the triage table (called
+    /// after every drain, so priorities track live reoccurrence rates).
+    pub fn update_rates(&mut self, triage: &crate::triage::Triage) {
+        for g in self.groups.values_mut() {
+            if let Some(t) = triage.group(g.id) {
+                g.occurrences_seen = t.occurrences;
+            }
+        }
+    }
+
+    /// Queues drained occurrences on their groups, pinning their traces.
+    /// Stale occurrences (old version, already-consumed run, or a
+    /// duplicate of a queued one from another instance) are dropped
+    /// immediately and counted.
+    pub fn enqueue(&mut self, pending: Vec<PendingOccurrence>, store: &mut TraceStore) {
+        for p in pending {
+            let Some(g) = self.groups.get_mut(&p.group) else {
+                continue; // group must be noted first
+            };
+            let stale = g.report.is_some()
+                || p.version != g.version
+                || (p.for_group.is_some() && p.for_group != Some(g.id))
+                || p.info.run_index < g.next_run;
+            let duplicate = g.pending.iter().any(|q| {
+                q.version == p.version && q.info.run_index == p.info.run_index && q.trace == p.trace
+            });
+            if stale {
+                er_telemetry::counter!("fleet.sched.stale_dropped").incr();
+            } else if duplicate {
+                er_telemetry::counter!("fleet.sched.redundant").incr();
+            } else {
+                if let Some(id) = p.trace {
+                    store.pin(id);
+                }
+                g.pending.push_back(p);
+            }
+        }
+    }
+
+    /// Whether any open group has a consumable occurrence queued — the
+    /// production pause signal: analysis must catch up before instances
+    /// run further ahead.
+    pub fn has_eligible_pending(&self) -> bool {
+        self.groups
+            .values()
+            .any(|g| g.open() && g.next_eligible().is_some())
+    }
+
+    /// Whether any group's investigation is still open.
+    pub fn any_open(&self) -> bool {
+        self.groups.values().any(|g| g.open())
+    }
+
+    /// All groups, by id.
+    pub fn groups(&self) -> impl Iterator<Item = &GroupState> {
+        self.groups.values()
+    }
+
+    /// The binary instance `idx` of `total` should run right now: the
+    /// highest-priority open group's current binary on the instrumented
+    /// slice (`ceil(rollout × total)`, at least 1), the uninstrumented
+    /// baseline elsewhere. Returns `(group, version, binary)`.
+    pub fn binary_for(
+        &self,
+        idx: usize,
+        total: usize,
+        runs_observed: u64,
+        baseline: &InstrumentedProgram,
+    ) -> (Option<u64>, u32, InstrumentedProgram) {
+        let instrumented = ((self.policy.rollout * total as f64).ceil() as usize).clamp(1, total);
+        let lead = self
+            .priority_order(runs_observed)
+            .into_iter()
+            .next()
+            .and_then(|id| self.groups.get(&id));
+        match lead {
+            Some(g) if idx < instrumented && g.version > 0 => {
+                (Some(g.id), g.version, g.inst.clone())
+            }
+            _ => (None, 0, baseline.clone()),
+        }
+    }
+
+    /// Open groups in descending priority order: reoccurrence rate ×
+    /// (1 + stall depth), rate in occurrences per 1000 observed runs.
+    /// Ties break toward the smaller group id, so the order is total and
+    /// deterministic.
+    fn priority_order(&self, runs_observed: u64) -> Vec<u64> {
+        let mut scored: Vec<(u64, u64)> = self
+            .groups
+            .values()
+            .filter(|g| g.open())
+            .map(|g| {
+                let rate = g.occurrences_seen.max(1) * 1000 / runs_observed.max(1);
+                let score = rate.max(1) * (1 + u64::from(g.stall_depth()));
+                (score, g.id)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Runs one analyze round: up to `max_concurrent` highest-priority
+    /// groups each consume their oldest eligible occurrence, in parallel
+    /// unless `serial`. Returns `(group, outcome)` per iteration driven.
+    pub fn analyze_round(
+        &mut self,
+        store: &mut TraceStore,
+        runs_observed: u64,
+        serial: bool,
+    ) -> Vec<(u64, StepOutcome)> {
+        // Pick and detach the work: group state + its popped occurrence.
+        let mut selected: Vec<(GroupState, PendingOccurrence)> = Vec::new();
+        for id in self.priority_order(runs_observed) {
+            if selected.len() >= self.policy.max_concurrent {
+                break;
+            }
+            let g = self.groups.get_mut(&id).expect("scored group exists");
+            if let Some(at) = g.next_eligible() {
+                let p = g.pending.remove(at).expect("eligible index valid");
+                let g = self.groups.remove(&id).expect("group present");
+                selected.push((g, p));
+            }
+        }
+        if selected.is_empty() {
+            return Vec::new();
+        }
+
+        // Sessions of different groups are independent, so their
+        // iterations run concurrently; the store is only read here.
+        let work: Vec<Mutex<Option<(GroupState, PendingOccurrence)>>> =
+            selected.into_iter().map(|w| Mutex::new(Some(w))).collect();
+        let outcomes = pool::parallel_map(&work, serial, |_, slot| {
+            let (mut g, p) = slot
+                .lock()
+                .expect("work slot")
+                .take()
+                .expect("work present");
+            let label = g.label.clone();
+            er_telemetry::set_context(&label);
+            let outcome = Self::run_iteration(&mut g, &p, store);
+            er_telemetry::set_context("");
+            *slot.lock().expect("work slot") = Some((g, p));
+            outcome
+        });
+
+        let mut out = Vec::with_capacity(outcomes.len());
+        for (slot, outcome) in work.into_iter().zip(outcomes) {
+            let (mut g, p) = slot
+                .into_inner()
+                .expect("work slot")
+                .expect("work returned");
+            if let Some(id) = p.trace {
+                store.unpin(id);
+            }
+            er_telemetry::counter!("fleet.sched.consumed").incr();
+            match outcome {
+                StepOutcome::Reinstrumented => {
+                    er_telemetry::counter!("fleet.sched.rollouts").incr();
+                    // Everything queued was produced by the old binary.
+                    for stale in g.pending.drain(..) {
+                        if let Some(id) = stale.trace {
+                            store.unpin(id);
+                        }
+                        er_telemetry::counter!("fleet.sched.stale_dropped").incr();
+                    }
+                }
+                StepOutcome::Closed => {
+                    for rest in g.pending.drain(..) {
+                        if let Some(id) = rest.trace {
+                            store.unpin(id);
+                        }
+                    }
+                }
+                StepOutcome::NeedMore => {}
+            }
+            out.push((g.id, outcome));
+            self.groups.insert(g.id, g);
+        }
+        out
+    }
+
+    /// One group iteration: retrieve the trace, flatten to events, feed
+    /// the session. Mutates only `g`.
+    fn run_iteration(g: &mut GroupState, p: &PendingOccurrence, store: &TraceStore) -> StepOutcome {
+        let _iter = er_telemetry::span!("reconstruct.iteration");
+        g.iterations += 1;
+        g.next_run = p.info.run_index + 1;
+        let step = match p.trace {
+            Some(id) => match store.get(id) {
+                Some((packets, gap)) => {
+                    let events = {
+                        let _s = er_telemetry::span!("shepherd.decode");
+                        packets_to_events(&packets, gap)
+                    };
+                    g.session.consume_events(&g.inst, p.info.clone(), events)
+                }
+                None => g
+                    .session
+                    .note_undecodable(p.info.clone(), "trace evicted before analysis".into()),
+            },
+            None => g.session.note_undecodable(
+                p.info.clone(),
+                p.error.clone().unwrap_or_else(|| "undecodable".into()),
+            ),
+        };
+        match step {
+            SessionStep::Done(report) => {
+                g.report = Some(report);
+                StepOutcome::Closed
+            }
+            SessionStep::NeedOccurrence {
+                reinstrumented: true,
+            } => {
+                g.version += 1;
+                g.inst = g.session.instrumented();
+                StepOutcome::Reinstrumented
+            }
+            SessionStep::NeedOccurrence {
+                reinstrumented: false,
+            } => StepOutcome::NeedMore,
+        }
+    }
+
+    /// Consumes the scheduler, yielding every group's final state by id.
+    pub fn into_states(self) -> Vec<GroupState> {
+        self.groups.into_values().collect()
+    }
+
+    /// Closes every still-open group as having seen no (further) failure
+    /// reoccurrence — the fleet stopped producing.
+    pub fn close_all(&mut self, store: &mut TraceStore) {
+        for g in self.groups.values_mut() {
+            for rest in g.pending.drain(..) {
+                if let Some(id) = rest.trace {
+                    store.unpin(id);
+                }
+            }
+            if g.report.is_none() {
+                g.report = Some(g.session.give_up(GiveUpReason::NoFailureObserved));
+            }
+        }
+    }
+}

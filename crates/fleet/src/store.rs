@@ -1,0 +1,402 @@
+//! The deduplicating trace store.
+//!
+//! Every ingested trace is stored as a *compressed* packet stream
+//! (`er_pt::compress`) under a content address (FNV-1a of the compressed
+//! bytes). Reoccurrences of the same failure on mirrored instances produce
+//! byte-identical streams, so the store keeps one copy and counts a dedup
+//! hit. Retention is bounded twice: a per-group cap (old reoccurrences of
+//! a well-sampled failure are worthless) and a global in-memory byte
+//! budget, beyond which the oldest unpinned traces are evicted — spilled
+//! to disk when a spill directory is configured, dropped otherwise.
+//! Traces referenced by a scheduler's pending queue are *pinned* and never
+//! evicted, so an investigation can always retrieve the occurrence it is
+//! about to consume.
+
+use er_pt::compress::{compress, decompress};
+use er_pt::packet::Packet;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+
+/// Retention policy of a [`TraceStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Maximum retained traces per failure group (oldest evicted first).
+    pub per_group_cap: usize,
+    /// In-memory compressed-byte budget across all groups.
+    pub byte_budget: usize,
+    /// Where evicted traces spill; `None` drops them instead.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            per_group_cap: 4,
+            byte_budget: 64 << 20,
+            spill_dir: None,
+        }
+    }
+}
+
+/// Handle to one stored trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Cumulative store statistics (serialized into the fleet report).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct StoreStats {
+    /// `put` calls.
+    pub puts: u64,
+    /// Puts resolved by content-address dedup.
+    pub dedup_hits: u64,
+    /// Traces evicted (spilled or dropped).
+    pub evictions: u64,
+    /// Evicted traces written to the spill directory.
+    pub spills: u64,
+    /// PT packets offered, cumulative (ingestion-throughput numerator).
+    pub packets: u64,
+    /// Raw (uncompressed codec) bytes offered, cumulative.
+    pub raw_bytes: u64,
+    /// Compressed bytes actually stored, cumulative (dedup excluded).
+    pub stored_bytes: u64,
+}
+
+impl StoreStats {
+    /// Raw/compressed ratio over everything offered; >1 is compression.
+    /// Dedup hits count their raw bytes but store nothing, so fleet-wide
+    /// redundancy amplifies this beyond the per-trace codec ratio.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.stored_bytes as f64
+    }
+}
+
+/// What [`TraceStore::put`] did with an offered trace.
+#[derive(Debug, Clone, Copy)]
+pub struct PutResult {
+    /// Handle for later retrieval.
+    pub id: TraceId,
+    /// The identical trace was already stored; no new bytes were kept.
+    pub deduped: bool,
+    /// Compressed size of the offered trace.
+    pub compressed_len: usize,
+    /// Raw codec size of the offered trace.
+    pub raw_len: usize,
+}
+
+#[derive(Debug)]
+enum Slot {
+    Mem(Vec<u8>),
+    Disk(PathBuf),
+}
+
+#[derive(Debug)]
+struct Entry {
+    group: u64,
+    addr: u64,
+    leading_gap: bool,
+    data: Slot,
+    pinned: u32,
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The content-addressed, deduplicating, budgeted trace store.
+#[derive(Debug)]
+pub struct TraceStore {
+    config: StoreConfig,
+    entries: HashMap<u64, Entry>,
+    /// Insertion order, oldest first — the eviction scan order.
+    order: VecDeque<u64>,
+    by_addr: HashMap<u64, Vec<u64>>,
+    per_group: HashMap<u64, VecDeque<u64>>,
+    mem_bytes: usize,
+    seq: u64,
+    stats: StoreStats,
+}
+
+impl TraceStore {
+    /// An empty store with the given retention policy.
+    pub fn new(config: StoreConfig) -> TraceStore {
+        TraceStore {
+            config,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            by_addr: HashMap::new(),
+            per_group: HashMap::new(),
+            mem_bytes: 0,
+            seq: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Stores the packet stream of one occurrence of `group`, compressing
+    /// and deduplicating it. `leading_gap` records that the ring wrapped
+    /// and the decoded prefix is missing (it travels with the trace so
+    /// retrieval reproduces `PtTrace::decode` exactly).
+    pub fn put(&mut self, group: u64, packets: &[Packet], leading_gap: bool) -> PutResult {
+        let raw_len = er_pt::codec::encode(packets).len();
+        let compressed = compress(packets);
+        let addr = fnv64(&compressed);
+        self.stats.puts += 1;
+        self.stats.packets += packets.len() as u64;
+        self.stats.raw_bytes += raw_len as u64;
+        er_telemetry::counter!("fleet.store.puts").incr();
+        er_telemetry::counter!("fleet.store.bytes_raw").add(raw_len as u64);
+
+        let hit = self.by_addr.get(&addr).and_then(|ids| {
+            ids.iter().copied().find(|id| {
+                let e = &self.entries[id];
+                e.group == group
+                    && e.leading_gap == leading_gap
+                    && self.bytes_of(e).as_deref() == Some(&compressed)
+            })
+        });
+        if let Some(id) = hit {
+            self.stats.dedup_hits += 1;
+            er_telemetry::counter!("fleet.store.dedup_hits").incr();
+            return PutResult {
+                id: TraceId(id),
+                deduped: true,
+                compressed_len: compressed.len(),
+                raw_len,
+            };
+        }
+
+        let id = self.seq;
+        self.seq += 1;
+        let compressed_len = compressed.len();
+        self.stats.stored_bytes += compressed_len as u64;
+        er_telemetry::counter!("fleet.store.bytes_compressed").add(compressed_len as u64);
+        self.mem_bytes += compressed_len;
+        self.entries.insert(
+            id,
+            Entry {
+                group,
+                addr,
+                leading_gap,
+                data: Slot::Mem(compressed),
+                pinned: 0,
+            },
+        );
+        self.order.push_back(id);
+        self.by_addr.entry(addr).or_default().push(id);
+        self.per_group.entry(group).or_default().push_back(id);
+        self.enforce_caps(group);
+        PutResult {
+            id: TraceId(id),
+            deduped: false,
+            compressed_len,
+            raw_len,
+        }
+    }
+
+    /// Retrieves and decompresses a stored trace: the packets and the
+    /// leading-gap flag. `None` if the trace was evicted without a spill
+    /// directory (or never existed).
+    pub fn get(&self, id: TraceId) -> Option<(Vec<Packet>, bool)> {
+        let e = self.entries.get(&id.0)?;
+        let bytes = self.bytes_of(e)?;
+        let packets = decompress(&bytes).ok()?;
+        Some((packets, e.leading_gap))
+    }
+
+    /// Marks a trace in use by a pending occurrence: it will not be
+    /// evicted until [`unpin`](Self::unpin)ned as many times.
+    pub fn pin(&mut self, id: TraceId) {
+        if let Some(e) = self.entries.get_mut(&id.0) {
+            e.pinned += 1;
+        }
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, id: TraceId) {
+        if let Some(e) = self.entries.get_mut(&id.0) {
+            e.pinned = e.pinned.saturating_sub(1);
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Compressed bytes currently held in memory.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem_bytes
+    }
+
+    fn bytes_of(&self, e: &Entry) -> Option<Vec<u8>> {
+        match &e.data {
+            Slot::Mem(b) => Some(b.clone()),
+            Slot::Disk(p) => std::fs::read(p).ok(),
+        }
+    }
+
+    fn enforce_caps(&mut self, group: u64) {
+        // Per-group retention counts *in-memory* traces: oldest unpinned
+        // beyond the cap are evicted first (spilled copies don't count).
+        let in_mem = |entries: &HashMap<u64, Entry>, id: &u64| {
+            entries
+                .get(id)
+                .is_some_and(|e| matches!(e.data, Slot::Mem(_)))
+        };
+        while self.per_group.get(&group).is_some_and(|q| {
+            q.iter().filter(|id| in_mem(&self.entries, id)).count() > self.config.per_group_cap
+        }) {
+            let victim = self.per_group.get(&group).and_then(|q| {
+                q.iter()
+                    .find(|id| {
+                        in_mem(&self.entries, id)
+                            && self.entries.get(id).is_some_and(|e| e.pinned == 0)
+                    })
+                    .copied()
+            });
+            match victim {
+                Some(v) => self.evict(v),
+                None => break, // everything pinned: over cap but safe
+            }
+        }
+        // Global byte budget: evict oldest unpinned in-memory entries.
+        while self.mem_bytes > self.config.byte_budget {
+            let victim = self.order.iter().copied().find(|id| {
+                self.entries
+                    .get(id)
+                    .is_some_and(|e| e.pinned == 0 && matches!(e.data, Slot::Mem(_)))
+            });
+            match victim {
+                Some(v) => self.evict(v),
+                None => break,
+            }
+        }
+    }
+
+    fn evict(&mut self, id: u64) {
+        let Some(mut e) = self.entries.remove(&id) else {
+            return;
+        };
+        if let Slot::Mem(bytes) = &e.data {
+            self.mem_bytes -= bytes.len();
+            self.stats.evictions += 1;
+            er_telemetry::counter!("fleet.store.evictions").incr();
+            if let Some(dir) = &self.config.spill_dir {
+                let _ = std::fs::create_dir_all(dir);
+                let path = dir.join(format!("trace-{id}.erz"));
+                if std::fs::write(&path, bytes).is_ok() {
+                    self.stats.spills += 1;
+                    er_telemetry::counter!("fleet.store.spills").incr();
+                    e.data = Slot::Disk(path);
+                    self.entries.insert(id, e);
+                    return;
+                }
+            }
+        }
+        // Dropped entirely: forget the content address and group slot.
+        if let Some(ids) = self.by_addr.get_mut(&e.addr) {
+            ids.retain(|&i| i != id);
+        }
+        if let Some(q) = self.per_group.get_mut(&e.group) {
+            q.retain(|&i| i != id);
+        }
+        self.order.retain(|&i| i != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packets(n: u64) -> Vec<Packet> {
+        (0..n)
+            .map(|i| Packet::Tip {
+                target: (i % 7) as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_streams_dedup() {
+        let mut s = TraceStore::new(StoreConfig::default());
+        let a = s.put(1, &packets(50), false);
+        let b = s.put(1, &packets(50), false);
+        assert!(!a.deduped && b.deduped);
+        assert_eq!(a.id, b.id);
+        assert_eq!(s.stats().dedup_hits, 1);
+        // Same bytes for a *different group* are a different occurrence.
+        let c = s.put(2, &packets(50), false);
+        assert!(!c.deduped);
+    }
+
+    #[test]
+    fn round_trips_packets_and_gap_flag() {
+        let mut s = TraceStore::new(StoreConfig::default());
+        let p = packets(20);
+        let r = s.put(1, &p, true);
+        let (back, gap) = s.get(r.id).unwrap();
+        assert_eq!(back, p);
+        assert!(gap);
+        assert!(r.compressed_len <= r.raw_len);
+    }
+
+    #[test]
+    fn per_group_cap_evicts_oldest() {
+        let mut s = TraceStore::new(StoreConfig {
+            per_group_cap: 2,
+            ..StoreConfig::default()
+        });
+        let ids: Vec<TraceId> = (0..4)
+            .map(|i| s.put(1, &packets(10 + i), false).id)
+            .collect();
+        assert!(s.get(ids[0]).is_none(), "oldest evicted");
+        assert!(s.get(ids[1]).is_none());
+        assert!(s.get(ids[2]).is_some() && s.get(ids[3]).is_some());
+        assert_eq!(s.stats().evictions, 2);
+    }
+
+    #[test]
+    fn pinned_traces_survive_budget_pressure() {
+        let mut s = TraceStore::new(StoreConfig {
+            per_group_cap: 100,
+            byte_budget: 200,
+            spill_dir: None,
+        });
+        let first = s.put(1, &packets(40), false).id;
+        s.pin(first);
+        for i in 0..5 {
+            s.put(1, &packets(41 + i), false);
+        }
+        assert!(s.get(first).is_some(), "pinned entry never evicted");
+        s.unpin(first);
+        s.put(1, &packets(99), false);
+        assert!(s.get(first).is_none(), "unpinned entry is fair game");
+    }
+
+    #[test]
+    fn spill_dir_keeps_evicted_traces_readable() {
+        let dir = std::env::temp_dir().join(format!("er-fleet-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = TraceStore::new(StoreConfig {
+            per_group_cap: 1,
+            byte_budget: 1 << 20,
+            spill_dir: Some(dir.clone()),
+        });
+        let p = packets(30);
+        let first = s.put(1, &p, false).id;
+        s.put(1, &packets(31), false);
+        assert_eq!(s.stats().spills, 1);
+        let (back, _) = s.get(first).expect("spilled trace readable");
+        assert_eq!(back, p);
+        // And spilled bytes still dedup against a reoffer.
+        assert!(s.put(1, &p, false).deduped);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

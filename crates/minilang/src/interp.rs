@@ -14,7 +14,7 @@ use crate::trace::{NullSink, TraceSink};
 use std::collections::{HashMap, VecDeque};
 
 /// Scheduler parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedConfig {
     /// Nominal instructions per scheduling quantum.
     pub quantum: u64,

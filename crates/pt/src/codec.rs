@@ -83,6 +83,12 @@ pub enum DecodeError {
     },
     /// The buffer wrapped and no PSB exists to resynchronize from.
     NoSyncPoint,
+    /// A structurally invalid field (bad run length, oversized varint)
+    /// in a compressed stream ([`crate::compress`]).
+    Corrupt {
+        /// Offset of the malformed packet's opcode.
+        at: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -93,6 +99,7 @@ impl fmt::Display for DecodeError {
                 write!(f, "bad opcode {opcode:#04x} at byte {at}")
             }
             DecodeError::NoSyncPoint => write!(f, "wrapped trace has no PSB to sync from"),
+            DecodeError::Corrupt { at } => write!(f, "corrupt compressed packet at byte {at}"),
         }
     }
 }

@@ -16,6 +16,9 @@
 //!   resynchronizes at the next PSB.
 //! * **Sink** ([`sink`]): [`sink::PtSink`] plugs into the interpreter's
 //!   [`er_minilang::trace::TraceSink`] and packetizes events online.
+//! * **Compression** ([`compress`]): run-length/delta re-encoding of packet
+//!   streams (TNT-run merging, zigzag TSC/PTW deltas) for fleet-scale trace
+//!   shipping and storage; exactly round-trip faithful to [`codec`].
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod codec;
+pub mod compress;
 pub mod packet;
 pub mod ring;
 pub mod sink;
@@ -40,4 +44,4 @@ pub mod sink;
 pub use codec::DecodeError;
 pub use packet::{Packet, TraceEvent};
 pub use ring::RingBuffer;
-pub use sink::{DecodedTrace, PtConfig, PtSink, PtTrace};
+pub use sink::{packets_to_events, DecodedTrace, PtConfig, PtSink, PtTrace};

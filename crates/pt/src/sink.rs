@@ -46,6 +46,9 @@ pub struct PtStats {
     pub packets: u64,
     /// Bytes emitted (before any ring-buffer overwrite).
     pub bytes: u64,
+    /// Packets lost to ring-buffer overwriting (0 until the ring wraps).
+    /// Set when the trace is finalized so ingestion can report truncation.
+    pub packets_dropped: u64,
 }
 
 /// An online PT encoder implementing the interpreter's [`TraceSink`].
@@ -83,6 +86,7 @@ impl PtSink {
     fn emit(&mut self, p: &Packet) {
         self.scratch.clear();
         codec::encode_into(p, &mut self.scratch);
+        self.ring.mark();
         self.ring.write(&self.scratch);
         self.stats.packets += 1;
         self.stats.bytes += self.scratch.len() as u64;
@@ -95,6 +99,7 @@ impl PtSink {
             self.packets_since_psb = 0;
             self.scratch.clear();
             codec::encode_into(&Packet::Psb, &mut self.scratch);
+            self.ring.mark();
             self.ring.write(&self.scratch);
             self.stats.packets += 1;
             self.stats.bytes += 1;
@@ -116,6 +121,7 @@ impl PtSink {
             .extend_from_slice(&self.tnt_acc.to_le_bytes()[..nb]);
         self.tnt_acc = 0;
         self.tnt_count = 0;
+        self.ring.mark();
         self.ring.write(&self.scratch);
         self.stats.packets += 1;
         self.stats.bytes += self.scratch.len() as u64;
@@ -125,6 +131,7 @@ impl PtSink {
     /// Finalizes the trace: flushes pending TNT bits and snapshots the ring.
     pub fn finish(mut self) -> PtTrace {
         self.flush_tnt();
+        self.stats.packets_dropped = self.ring.dropped_marks();
         let trace = PtTrace {
             wrapped: self.ring.wrapped(),
             bytes: self.ring.snapshot(),
@@ -135,6 +142,7 @@ impl PtSink {
             er_telemetry::counter!("pt.packets_encoded").add(self.stats.packets);
             er_telemetry::counter!("pt.trace_bytes").add(trace.bytes.len() as u64);
             er_telemetry::counter!("ring.overwrites").add(self.ring.overwrites());
+            er_telemetry::counter!("pt.packets_dropped").add(self.stats.packets_dropped);
             if trace.wrapped {
                 er_telemetry::counter!("pt.wrapped_traces").incr();
             }
@@ -204,6 +212,26 @@ pub struct PtTrace {
 }
 
 impl PtTrace {
+    /// Decodes the byte stream into packets, resynchronizing at a PSB if
+    /// the ring wrapped. Returns the packets and whether a leading gap
+    /// (lost prefix) precedes them. This is the ingestion entry point: the
+    /// fleet path stores packets (re-encoded through [`crate::compress`])
+    /// and later flattens them with [`packets_to_events`], reproducing
+    /// [`decode`](Self::decode) bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stream is corrupt or a wrapped
+    /// stream contains no sync point.
+    pub fn packets(&self) -> Result<(Vec<Packet>, bool), DecodeError> {
+        if self.wrapped {
+            let at = codec::resync(&self.bytes, 0).ok_or(DecodeError::NoSyncPoint)?;
+            Ok((codec::decode_from(&self.bytes, at)?, true))
+        } else {
+            Ok((codec::decode(&self.bytes)?, false))
+        }
+    }
+
     /// Decodes the byte stream into flattened [`TraceEvent`]s,
     /// resynchronizing at a PSB if the ring wrapped.
     ///
@@ -213,39 +241,41 @@ impl PtTrace {
     /// stream contains no sync point.
     pub fn decode(&self) -> Result<DecodedTrace, DecodeError> {
         let _span = er_telemetry::span!("pt.decode");
-        let (packets, gap) = if self.wrapped {
-            let at = codec::resync(&self.bytes, 0).ok_or(DecodeError::NoSyncPoint)?;
-            (codec::decode_from(&self.bytes, at)?, true)
-        } else {
-            (codec::decode(&self.bytes)?, false)
-        };
-        let mut events = Vec::with_capacity(packets.len());
-        if gap {
-            events.push(TraceEvent::Gap);
-        }
-        for p in &packets {
-            match p {
-                Packet::Psb => {}
-                Packet::Ovf => events.push(TraceEvent::Gap),
-                Packet::Tnt { count, bits } => {
-                    for i in 0..*count as usize {
-                        let bit = bits[i / 8] >> (i % 8) & 1;
-                        events.push(TraceEvent::Branch(bit == 1));
-                    }
-                }
-                Packet::Tip { target } => events.push(TraceEvent::Call(*target)),
-                Packet::Ret => events.push(TraceEvent::Ret),
-                Packet::Ptw { value } => events.push(TraceEvent::PtWrite(*value)),
-                Packet::Tsc { tsc } => events.push(TraceEvent::Timestamp(*tsc)),
-                Packet::Pge { tid } => events.push(TraceEvent::ThreadResume(*tid)),
-            }
-        }
+        let (packets, gap) = self.packets()?;
+        let events = packets_to_events(&packets, gap);
         if er_telemetry::enabled() {
             er_telemetry::counter!("pt.packets_decoded").add(packets.len() as u64);
             er_telemetry::counter!("pt.events_decoded").add(events.len() as u64);
         }
         Ok(DecodedTrace { events })
     }
+}
+
+/// Flattens a packet sequence into [`TraceEvent`]s; `leading_gap` prefixes
+/// a [`TraceEvent::Gap`] (set when the packets came from a wrapped ring).
+pub fn packets_to_events(packets: &[Packet], leading_gap: bool) -> Vec<TraceEvent> {
+    let mut events = Vec::with_capacity(packets.len());
+    if leading_gap {
+        events.push(TraceEvent::Gap);
+    }
+    for p in packets {
+        match p {
+            Packet::Psb => {}
+            Packet::Ovf => events.push(TraceEvent::Gap),
+            Packet::Tnt { count, bits } => {
+                for i in 0..*count as usize {
+                    let bit = bits[i / 8] >> (i % 8) & 1;
+                    events.push(TraceEvent::Branch(bit == 1));
+                }
+            }
+            Packet::Tip { target } => events.push(TraceEvent::Call(*target)),
+            Packet::Ret => events.push(TraceEvent::Ret),
+            Packet::Ptw { value } => events.push(TraceEvent::PtWrite(*value)),
+            Packet::Tsc { tsc } => events.push(TraceEvent::Timestamp(*tsc)),
+            Packet::Pge { tid } => events.push(TraceEvent::ThreadResume(*tid)),
+        }
+    }
+    events
 }
 
 /// A decoded trace ready for offline analysis.
@@ -379,6 +409,9 @@ mod tests {
         }
         let t = s.finish();
         assert!(t.wrapped);
+        // Overwrite accounting: the sink knows how many packets the wrap
+        // destroyed, and they reconcile with what the decoder recovers.
+        assert!(t.stats.packets_dropped > 0);
         let d = t.decode().unwrap();
         assert!(d.has_gap());
         // Newest ptwrites must survive.

@@ -203,6 +203,7 @@ pub(crate) fn php_2012_2386() -> Workload {
         input_gen: staged_prod(5, 40),
         perf_gen: staged_perf(5, 40),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -234,6 +235,7 @@ pub(crate) fn php_74194() -> Workload {
         input_gen: staged_prod(9, 40),
         perf_gen: staged_perf(9, 40),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -262,6 +264,7 @@ pub(crate) fn sqlite_7be932d() -> Workload {
         input_gen: staged_prod(2, 40),
         perf_gen: staged_perf(2, 40),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -296,6 +299,7 @@ pub(crate) fn sqlite_787fa71() -> Workload {
         input_gen: staged_prod(3, 40),
         perf_gen: staged_perf(3, 40),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -325,6 +329,7 @@ pub(crate) fn sqlite_4e8e485() -> Workload {
         input_gen: staged_prod(2, 40),
         perf_gen: staged_perf(2, 40),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -358,6 +363,7 @@ pub(crate) fn nasm_2004_1287() -> Workload {
         input_gen: staged_prod(2, 2),
         perf_gen: staged_perf(2, 2),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -392,6 +398,7 @@ pub(crate) fn objdump_2018_6323() -> Workload {
         input_gen: staged_prod(2, 40),
         perf_gen: staged_perf(2, 40),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -426,6 +433,7 @@ pub(crate) fn matrixssl_2014_1569() -> Workload {
         input_gen: staged_prod(5, 40),
         perf_gen: staged_perf(5, 40),
         sched_gen: None,
+        failure_phase: Some((4, 5)),
     }
 }
 
@@ -507,6 +515,7 @@ fn main() {
         input_gen: inputs,
         perf_gen: perf,
         sched_gen: Some(sched),
+        failure_phase: None,
     }
 }
 
@@ -561,6 +570,7 @@ fn main() {
         input_gen: inputs,
         perf_gen: perf,
         sched_gen: None,
+        failure_phase: Some((3, 4)),
     }
 }
 
@@ -614,6 +624,7 @@ fn main() {
         input_gen: inputs,
         perf_gen: perf,
         sched_gen: None,
+        failure_phase: Some((5, 6)),
     }
 }
 
@@ -697,6 +708,7 @@ fn main() {
         input_gen: inputs,
         perf_gen: perf,
         sched_gen: Some(sched),
+        failure_phase: None,
     }
 }
 
@@ -780,5 +792,6 @@ fn main() {
         input_gen: inputs,
         perf_gen: perf,
         sched_gen: Some(sched),
+        failure_phase: None,
     }
 }

@@ -24,7 +24,7 @@
 mod apps;
 pub mod coreutils;
 
-use er_core::deploy::Deployment;
+use er_core::deploy::{Deployment, NextFailing, ReoccurrenceModel};
 use er_core::reconstruct::ErConfig;
 use er_minilang::env::Env;
 use er_minilang::interp::SchedConfig;
@@ -64,6 +64,13 @@ pub struct Workload {
     pub perf_gen: fn(u64) -> Env,
     /// Per-run scheduler configuration (None: deployment default).
     pub sched_gen: Option<fn(u64) -> SchedConfig>,
+    /// Exact failing-run predictor `(offset, period)`: runs fail iff
+    /// `run % period == offset`. Only single-threaded workloads have one —
+    /// their failures are a pure function of the input stream — and it
+    /// enables deploy fast-forward without changing which runs fail.
+    /// Multithreaded failures are schedule-dependent, so `None`: every run
+    /// must actually execute.
+    pub failure_phase: Option<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Workload {
@@ -93,6 +100,28 @@ impl Workload {
             Some(s) => d.with_sched(s),
             None => d,
         }
+    }
+
+    /// The reoccurrence model fleet runs use: fast-forward past
+    /// predictably healthy runs where the workload has an exact failure
+    /// period, scan otherwise.
+    pub fn reoccurrence_model(&self, inter_arrival_ns: u64) -> ReoccurrenceModel {
+        ReoccurrenceModel {
+            inter_arrival_ns,
+            fast_forward: self.failure_phase.is_some(),
+            predictor: self
+                .failure_phase
+                .map(|(offset, period)| NextFailing::Periodic { offset, period }),
+        }
+    }
+
+    /// A deployment with the fleet reoccurrence model attached: identical
+    /// occurrence sequence to [`deployment`](Self::deployment), but healthy
+    /// runs between failures are skipped instead of executed where the
+    /// failure period is known.
+    pub fn fleet_deployment(&self, scale: Scale, inter_arrival_ns: u64) -> Deployment {
+        self.deployment(scale)
+            .with_reoccurrence(self.reoccurrence_model(inter_arrival_ns))
     }
 
     /// The ER configuration used in the evaluation: a deterministic budget
@@ -281,6 +310,52 @@ mod tests {
             big > small * 4,
             "scale 8 should be much bigger: {small} vs {big}"
         );
+    }
+
+    #[test]
+    fn failure_phase_predictors_are_exact() {
+        // The predictor contract (deploy fast-forward) is that *every* run
+        // it skips is healthy and every failing run lands on the period.
+        // Scan the first 30 runs of each single-threaded workload and
+        // compare the observed failing set against the declared phase.
+        use er_minilang::interp::{Machine, RunOutcome};
+        for w in all() {
+            let Some((offset, period)) = w.failure_phase else {
+                assert!(w.multithreaded, "{}: only MT workloads may omit", w.name);
+                continue;
+            };
+            assert!(!w.multithreaded, "{}: MT failures are not periodic", w.name);
+            let p = w.program(Scale::TEST);
+            for run in 0..30u64 {
+                let failed = matches!(
+                    Machine::new(&p, (w.input_gen)(run)).run().outcome,
+                    RunOutcome::Failure(_)
+                );
+                assert_eq!(
+                    failed,
+                    run % period == offset,
+                    "{}: run {run} contradicts phase ({offset}, {period})",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_deployment_matches_plain_occurrences() {
+        use er_core::instrument::InstrumentedProgram;
+        let w = by_name("Libpng-2004-0597").unwrap();
+        let plain = w.deployment(Scale::TEST);
+        let fast = w.fleet_deployment(Scale::TEST, 1_000);
+        let inst = InstrumentedProgram::unmodified(plain.program());
+        let mut at = 0;
+        for _ in 0..3 {
+            let a = plain.run_until_failure(&inst, None, at, 1_000).unwrap();
+            let b = fast.run_until_failure(&inst, None, at, 1_000).unwrap();
+            assert_eq!(a.run_index, b.run_index);
+            assert_eq!(a.pt_stats.bytes, b.pt_stats.bytes);
+            at = a.run_index + 1;
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`baselines`] | `er-baselines` | rr-style record/replay, REPT-style recovery |
 //! | [`invariants`] | `er-invariants` | Daikon/MIMIC-style localization |
 //! | [`workloads`] | `er-workloads` | the 13 Table-1 bug programs |
+//! | [`fleet`] | `er-fleet` | fleet simulation: ingestion, triage, scheduling |
 //!
 //! # End-to-end example
 //!
@@ -52,6 +53,7 @@
 
 pub use er_baselines as baselines;
 pub use er_core as core;
+pub use er_fleet as fleet;
 pub use er_invariants as invariants;
 pub use er_minilang as minilang;
 pub use er_pt as pt;

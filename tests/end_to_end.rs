@@ -9,7 +9,7 @@ use er::minilang::error::FailureKind;
 use er::solver::solve::Budget;
 use er::symex::SymConfig;
 
-fn deploy(src: &str, gen: impl Fn(u64) -> Env + 'static) -> Deployment {
+fn deploy(src: &str, gen: impl Fn(u64) -> Env + Send + Sync + 'static) -> Deployment {
     Deployment::new(compile(src).expect("test program compiles"), gen)
 }
 
