@@ -37,5 +37,29 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_branch_tracing, bench_decode);
+fn bench_resync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pt/resync");
+    for kb in [64usize, 128, 256] {
+        let n = kb << 10;
+        // Adversarial wrapped buffer: every byte is a PSB candidate and the
+        // last byte is damaged. Full-decode validation re-decoded the whole
+        // suffix per candidate — O(n²) — and then rejected every sync point
+        // anyway; bounded-lookahead validation accepts the first candidate
+        // in O(RESYNC_LOOKAHEAD), so time stays flat as the buffer grows.
+        let mut bytes = vec![0xA0u8; n - 1];
+        bytes.push(0xFF);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_function(&format!("corrupt_tail_{kb}kb"), |b| {
+            b.iter(|| er_pt::codec::resync(&bytes, 0));
+        });
+        // No sync point at all: the scan itself must stay linear.
+        let noise = vec![0x00u8; n];
+        group.bench_function(&format!("no_sync_point_{kb}kb"), |b| {
+            b.iter(|| er_pt::codec::resync(&noise, 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_tracing, bench_decode, bench_resync);
 criterion_main!(benches);

@@ -236,6 +236,33 @@ fn main() {
         );
     }
 
+    // Chaos fault-injection counters (`chaos.*`), summed over the top-level
+    // driver spans — `reconstruct` for the serial path, `fleet.run` for
+    // fleet runs — so each delta is counted exactly once (those two spans
+    // never nest; everything else is a child of one of them).
+    let mut chaos: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in &events {
+        if ev.kind != "span" || (ev.name != "reconstruct" && ev.name != "fleet.run") {
+            continue;
+        }
+        for (cname, v) in &ev.counters {
+            if cname.starts_with("chaos.") {
+                *chaos.entry(cname.clone()).or_default() += v;
+            }
+        }
+    }
+    if !chaos.is_empty() {
+        let chaos_rows: Vec<Vec<String>> = chaos
+            .iter()
+            .map(|(c, v)| vec![c.clone(), v.to_string()])
+            .collect();
+        print_table(
+            "Chaos fault-injection counters (injected vs. handled)",
+            &["Counter", "Count"],
+            &chaos_rows,
+        );
+    }
+
     println!(
         "{} workloads, {} fleet runs, {} span events",
         reports.len(),
@@ -246,6 +273,7 @@ fn main() {
     struct ObsReport {
         workloads: Vec<WorkloadReport>,
         fleet: Vec<FleetRunReport>,
+        chaos: BTreeMap<String, u64>,
     }
     drop((reports, fleet_reports));
     write_json(
@@ -253,6 +281,7 @@ fn main() {
         &ObsReport {
             workloads: by_workload.into_values().collect(),
             fleet: fleet_runs.into_values().collect(),
+            chaos,
         },
     );
 }

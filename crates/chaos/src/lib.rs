@@ -1,0 +1,628 @@
+//! Deterministic, seeded fault injection for the ER pipeline.
+//!
+//! ER's premise is that production failures are messy: traces wrap, packets
+//! drop, workers die, spill disks fill, solvers time out. This crate is the
+//! substrate that *proves* the pipeline tolerates that mess. Each injection
+//! point in `pt`, `fleet`, `solver`, and `core` asks [`inject`] whether the
+//! armed [`ChaosPlan`] wants a fault here; decisions are a pure function of
+//! `(seed, fault, nth-call)`, so a given plan replays bit-identically on a
+//! serial pool.
+//!
+//! Every injected fault must be *handled* in exactly one of three ways, and
+//! the handler reports which (the `chaos_sweep` bench gate asserts the
+//! books balance):
+//!
+//! * [`note_recovered`] — a retry absorbed the fault completely (a dropped
+//!   crash report was re-offered, a panicked work item was requeued, a spill
+//!   write succeeded on a later attempt);
+//! * [`note_degraded`] — a documented fallback took over at reduced
+//!   fidelity (a spill target kept its trace in memory, a solver query
+//!   stalled into the reinstrumentation loop);
+//! * [`note_typed_error`] — the fault surfaced as a typed error the caller
+//!   is prepared for (an undecodable trace, an unreadable spill file), never
+//!   as a panic.
+//!
+//! Nothing here is wired to production builds: when no plan is armed,
+//! [`inject`] is a single relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A pipeline failure domain — the unit the smoke gate asserts coverage
+/// over ("≥1 injected and ≥1 handled fault per domain").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// Trace bytes between the PT ring and the decoder.
+    Trace,
+    /// Crash-report ingestion (queue, drain).
+    Ingest,
+    /// The trace store's spill directory I/O.
+    Store,
+    /// Worker closures on the fleet pool.
+    Pool,
+    /// Constraint-solver queries.
+    Solver,
+}
+
+impl Domain {
+    /// Every domain, in display order.
+    pub const ALL: [Domain; 5] = [
+        Domain::Trace,
+        Domain::Ingest,
+        Domain::Store,
+        Domain::Pool,
+        Domain::Solver,
+    ];
+
+    /// Stable lower-case name (used in counter names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Trace => "trace",
+            Domain::Ingest => "ingest",
+            Domain::Store => "store",
+            Domain::Pool => "pool",
+            Domain::Solver => "solver",
+        }
+    }
+
+    const fn idx(self) -> usize {
+        match self {
+            Domain::Trace => 0,
+            Domain::Ingest => 1,
+            Domain::Store => 2,
+            Domain::Pool => 3,
+            Domain::Solver => 4,
+        }
+    }
+}
+
+/// One injectable fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Flip bytes in a shipped trace (silent corruption).
+    TraceCorrupt,
+    /// Cut a shipped trace short (head or tail loss).
+    TraceTruncate,
+    /// Swap two chunks of a shipped trace (reordered DMA-style damage).
+    TraceReorder,
+    /// Reject a crash report at the ingest queue (packet loss).
+    IngestDrop,
+    /// Deliver a crash report twice out of one drain.
+    IngestDuplicate,
+    /// Fail a spill-directory write.
+    SpillWrite,
+    /// Fail a spill-directory read.
+    SpillRead,
+    /// Panic inside a worker-pool closure.
+    WorkerPanic,
+    /// Force a solver query to stall (timeout analogue).
+    SolverStall,
+}
+
+impl Fault {
+    /// Every fault, in display order.
+    pub const ALL: [Fault; 9] = [
+        Fault::TraceCorrupt,
+        Fault::TraceTruncate,
+        Fault::TraceReorder,
+        Fault::IngestDrop,
+        Fault::IngestDuplicate,
+        Fault::SpillWrite,
+        Fault::SpillRead,
+        Fault::WorkerPanic,
+        Fault::SolverStall,
+    ];
+
+    /// The failure domain this fault belongs to.
+    pub fn domain(self) -> Domain {
+        match self {
+            Fault::TraceCorrupt | Fault::TraceTruncate | Fault::TraceReorder => Domain::Trace,
+            Fault::IngestDrop | Fault::IngestDuplicate => Domain::Ingest,
+            Fault::SpillWrite | Fault::SpillRead => Domain::Store,
+            Fault::WorkerPanic => Domain::Pool,
+            Fault::SolverStall => Domain::Solver,
+        }
+    }
+
+    /// Stable snake-case name (used in counter names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::TraceCorrupt => "trace_corrupt",
+            Fault::TraceTruncate => "trace_truncate",
+            Fault::TraceReorder => "trace_reorder",
+            Fault::IngestDrop => "ingest_drop",
+            Fault::IngestDuplicate => "ingest_duplicate",
+            Fault::SpillWrite => "spill_write",
+            Fault::SpillRead => "spill_read",
+            Fault::WorkerPanic => "worker_panic",
+            Fault::SolverStall => "solver_stall",
+        }
+    }
+
+    const fn idx(self) -> usize {
+        match self {
+            Fault::TraceCorrupt => 0,
+            Fault::TraceTruncate => 1,
+            Fault::TraceReorder => 2,
+            Fault::IngestDrop => 3,
+            Fault::IngestDuplicate => 4,
+            Fault::SpillWrite => 5,
+            Fault::SpillRead => 6,
+            Fault::WorkerPanic => 7,
+            Fault::SolverStall => 8,
+        }
+    }
+}
+
+/// How often and how much of one fault a plan injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Injection probability per opportunity, in ‰ (1000 = every time).
+    pub per_mille: u32,
+    /// Hard cap on total injections of this fault while the plan is armed.
+    /// Bounding faults is what lets a sweep assert *recovery*: once the
+    /// budget is spent the pipeline sees clean inputs again.
+    pub max_injections: u64,
+}
+
+impl FaultPolicy {
+    /// Inject at every opportunity, at most `max_injections` times.
+    pub fn always(max_injections: u64) -> FaultPolicy {
+        FaultPolicy {
+            per_mille: 1000,
+            max_injections,
+        }
+    }
+
+    /// Inject with probability `per_mille`/1000, at most `max_injections`
+    /// times.
+    pub fn rate(per_mille: u32, max_injections: u64) -> FaultPolicy {
+        FaultPolicy {
+            per_mille,
+            max_injections,
+        }
+    }
+}
+
+/// A seeded set of fault policies. Arm one with [`arm`]; decisions are
+/// deterministic in `(seed, fault, nth-call)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Decision seed.
+    pub seed: u64,
+    policies: [Option<FaultPolicy>; 9],
+}
+
+impl ChaosPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            policies: [None; 9],
+        }
+    }
+
+    /// Adds (or replaces) the policy for one fault.
+    #[must_use]
+    pub fn with(mut self, fault: Fault, policy: FaultPolicy) -> ChaosPlan {
+        self.policies[fault.idx()] = Some(policy);
+        self
+    }
+
+    /// Adds the same policy for every fault of `domain`.
+    #[must_use]
+    pub fn with_domain(mut self, domain: Domain, policy: FaultPolicy) -> ChaosPlan {
+        for f in Fault::ALL {
+            if f.domain() == domain {
+                self.policies[f.idx()] = Some(policy);
+            }
+        }
+        self
+    }
+
+    /// The policy for `fault`, if any.
+    pub fn policy(&self, fault: Fault) -> Option<FaultPolicy> {
+        self.policies[fault.idx()]
+    }
+
+    /// Faults this plan can inject.
+    pub fn faults(&self) -> Vec<Fault> {
+        Fault::ALL
+            .into_iter()
+            .filter(|f| self.policies[f.idx()].is_some())
+            .collect()
+    }
+}
+
+struct Armed {
+    plan: ChaosPlan,
+    calls: [AtomicU64; 9],
+    injected: [AtomicU64; 9],
+    recovered: [AtomicU64; 5],
+    degraded: [AtomicU64; 5],
+    typed_errors: [AtomicU64; 5],
+}
+
+impl Armed {
+    fn new(plan: ChaosPlan) -> Armed {
+        Armed {
+            plan,
+            calls: Default::default(),
+            injected: Default::default(),
+            recovered: Default::default(),
+            degraded: Default::default(),
+            typed_errors: Default::default(),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static RwLock<Option<Arc<Armed>>> {
+    static STATE: OnceLock<RwLock<Option<Arc<Armed>>>> = OnceLock::new();
+    STATE.get_or_init(|| RwLock::new(None))
+}
+
+fn current() -> Option<Arc<Armed>> {
+    if !armed() {
+        return None;
+    }
+    state()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Whether a plan is armed — the fast path every injection point checks
+/// first (one relaxed atomic load when chaos is off).
+#[inline]
+pub fn armed() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Disarms on drop, so a panicking sweep leg cannot leak faults into the
+/// next one.
+#[must_use = "dropping the guard disarms the plan"]
+#[derive(Debug)]
+pub struct ChaosGuard(());
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Arms `plan` globally, replacing any armed plan, and returns the guard
+/// that disarms it. Callers that arm concurrently (e.g. parallel tests)
+/// must serialize themselves — the decision stream is global.
+pub fn arm(plan: ChaosPlan) -> ChaosGuard {
+    *state()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::new(Armed::new(plan)));
+    ENABLED.store(true, Ordering::SeqCst);
+    ChaosGuard(())
+}
+
+/// Disarms any armed plan (also done by [`ChaosGuard`] on drop).
+pub fn disarm() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *state()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Asks the armed plan whether to inject `fault` at this opportunity.
+///
+/// Returns deterministic entropy for shaping the fault (which byte to
+/// flip, where to cut) when the answer is yes. The decision hashes
+/// `(seed, fault, nth-call-for-this-fault)`, so a fixed plan driven by a
+/// deterministic pipeline replays the same faults at the same places.
+pub fn inject(fault: Fault) -> Option<u64> {
+    let a = current()?;
+    let i = fault.idx();
+    let policy = a.plan.policies[i]?;
+    let n = a.calls[i].fetch_add(1, Ordering::Relaxed);
+    let h = splitmix64(
+        a.plan
+            .seed
+            .wrapping_add((i as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f))
+            .wrapping_add(n.wrapping_mul(0xe703_7ed1_a0b4_28db)),
+    );
+    if (h % 1000) as u32 >= policy.per_mille {
+        return None;
+    }
+    // Claim one slot of the bounded budget atomically; losing the race to
+    // the cap means this opportunity passes clean.
+    a.injected[i]
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            (v < policy.max_injections).then_some(v + 1)
+        })
+        .ok()?;
+    match fault {
+        Fault::TraceCorrupt => er_telemetry::counter!("chaos.injected.trace_corrupt").incr(),
+        Fault::TraceTruncate => er_telemetry::counter!("chaos.injected.trace_truncate").incr(),
+        Fault::TraceReorder => er_telemetry::counter!("chaos.injected.trace_reorder").incr(),
+        Fault::IngestDrop => er_telemetry::counter!("chaos.injected.ingest_drop").incr(),
+        Fault::IngestDuplicate => er_telemetry::counter!("chaos.injected.ingest_duplicate").incr(),
+        Fault::SpillWrite => er_telemetry::counter!("chaos.injected.spill_write").incr(),
+        Fault::SpillRead => er_telemetry::counter!("chaos.injected.spill_read").incr(),
+        Fault::WorkerPanic => er_telemetry::counter!("chaos.injected.worker_panic").incr(),
+        Fault::SolverStall => er_telemetry::counter!("chaos.injected.solver_stall").incr(),
+    }
+    Some(splitmix64(h))
+}
+
+/// Records that a retry fully absorbed a fault in `domain`.
+pub fn note_recovered(domain: Domain) {
+    let Some(a) = current() else { return };
+    a.recovered[domain.idx()].fetch_add(1, Ordering::Relaxed);
+    match domain {
+        Domain::Trace => er_telemetry::counter!("chaos.recovered.trace").incr(),
+        Domain::Ingest => er_telemetry::counter!("chaos.recovered.ingest").incr(),
+        Domain::Store => er_telemetry::counter!("chaos.recovered.store").incr(),
+        Domain::Pool => er_telemetry::counter!("chaos.recovered.pool").incr(),
+        Domain::Solver => er_telemetry::counter!("chaos.recovered.solver").incr(),
+    }
+}
+
+/// Records that a documented fallback took over for a fault in `domain`.
+pub fn note_degraded(domain: Domain) {
+    let Some(a) = current() else { return };
+    a.degraded[domain.idx()].fetch_add(1, Ordering::Relaxed);
+    match domain {
+        Domain::Trace => er_telemetry::counter!("chaos.degraded.trace").incr(),
+        Domain::Ingest => er_telemetry::counter!("chaos.degraded.ingest").incr(),
+        Domain::Store => er_telemetry::counter!("chaos.degraded.store").incr(),
+        Domain::Pool => er_telemetry::counter!("chaos.degraded.pool").incr(),
+        Domain::Solver => er_telemetry::counter!("chaos.degraded.solver").incr(),
+    }
+}
+
+/// Records that a fault in `domain` surfaced as a typed error (never a
+/// panic) that the caller handled.
+pub fn note_typed_error(domain: Domain) {
+    let Some(a) = current() else { return };
+    a.typed_errors[domain.idx()].fetch_add(1, Ordering::Relaxed);
+    match domain {
+        Domain::Trace => er_telemetry::counter!("chaos.typed_error.trace").incr(),
+        Domain::Ingest => er_telemetry::counter!("chaos.typed_error.ingest").incr(),
+        Domain::Store => er_telemetry::counter!("chaos.typed_error.store").incr(),
+        Domain::Pool => er_telemetry::counter!("chaos.typed_error.pool").incr(),
+        Domain::Solver => er_telemetry::counter!("chaos.typed_error.solver").incr(),
+    }
+}
+
+/// One domain's injection/handling balance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Faults injected into this domain.
+    pub injected: u64,
+    /// Faults absorbed by a retry.
+    pub recovered: u64,
+    /// Faults absorbed by a documented fallback.
+    pub degraded: u64,
+    /// Faults surfaced as typed errors.
+    pub typed_errors: u64,
+}
+
+impl DomainStats {
+    /// Faults accounted for by any of the three handling outcomes.
+    pub fn handled(&self) -> u64 {
+        self.recovered + self.degraded + self.typed_errors
+    }
+}
+
+/// Snapshot of the armed plan's books.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Per-domain balances, in [`Domain::ALL`] order.
+    pub domains: Vec<(Domain, DomainStats)>,
+    /// Injections per fault, in [`Fault::ALL`] order.
+    pub faults: Vec<(Fault, u64)>,
+}
+
+impl ChaosStats {
+    /// The balance for one domain.
+    pub fn domain(&self, d: Domain) -> DomainStats {
+        self.domains
+            .iter()
+            .find(|(x, _)| *x == d)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Total injections across all faults.
+    pub fn total_injected(&self) -> u64 {
+        self.faults.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The armed plan's current statistics, `None` when disarmed.
+pub fn stats() -> Option<ChaosStats> {
+    let a = current()?;
+    let domains = Domain::ALL
+        .into_iter()
+        .map(|d| {
+            let injected = Fault::ALL
+                .into_iter()
+                .filter(|f| f.domain() == d)
+                .map(|f| a.injected[f.idx()].load(Ordering::Relaxed))
+                .sum();
+            (
+                d,
+                DomainStats {
+                    injected,
+                    recovered: a.recovered[d.idx()].load(Ordering::Relaxed),
+                    degraded: a.degraded[d.idx()].load(Ordering::Relaxed),
+                    typed_errors: a.typed_errors[d.idx()].load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    let faults = Fault::ALL
+        .into_iter()
+        .map(|f| (f, a.injected[f.idx()].load(Ordering::Relaxed)))
+        .collect();
+    Some(ChaosStats { domains, faults })
+}
+
+/// Runs `f` up to `attempts` times with a short exponential backoff between
+/// attempts — the retry half of the retry-or-degrade policy. The attempt
+/// number is passed in so callers can thread it into telemetry.
+///
+/// # Errors
+///
+/// Returns the last attempt's error when every attempt fails.
+pub fn retry<T, E>(attempts: u32, mut f: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+    let mut last = f(0);
+    let mut attempt = 1;
+    while last.is_err() && attempt < attempts.max(1) {
+        // Backoff doubles from 50µs; long enough to model yielding to a
+        // transiently failing device, short enough for tests.
+        std::thread::sleep(std::time::Duration::from_micros(50u64 << attempt.min(6)));
+        last = f(attempt);
+        attempt += 1;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The plan is process-global; tests that arm must not overlap.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_injects_nothing() {
+        let _l = lock();
+        disarm();
+        assert!(!armed());
+        assert_eq!(inject(Fault::WorkerPanic), None);
+        assert_eq!(stats(), None);
+    }
+
+    #[test]
+    fn always_policy_injects_up_to_cap() {
+        let _l = lock();
+        let guard = arm(ChaosPlan::new(7).with(Fault::IngestDrop, FaultPolicy::always(3)));
+        let fired: Vec<bool> = (0..10)
+            .map(|_| inject(Fault::IngestDrop).is_some())
+            .collect();
+        assert_eq!(fired.iter().filter(|&&b| b).count(), 3);
+        assert!(fired[..3].iter().all(|&b| b), "cap consumed first");
+        // A fault with no policy never fires.
+        assert_eq!(inject(Fault::SolverStall), None);
+        let s = stats().unwrap();
+        assert_eq!(s.domain(Domain::Ingest).injected, 3);
+        assert_eq!(s.total_injected(), 3);
+        drop(guard);
+        assert!(!armed());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let _l = lock();
+        let run = |seed: u64| -> Vec<Option<u64>> {
+            let _g =
+                arm(ChaosPlan::new(seed).with(Fault::TraceCorrupt, FaultPolicy::rate(400, 64)));
+            (0..40).map(|_| inject(Fault::TraceCorrupt)).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, c, "different seed, different stream");
+        let hits = a.iter().filter(|d| d.is_some()).count();
+        assert!(
+            (4..=36).contains(&hits),
+            "rate 400‰ lands mid-range: {hits}"
+        );
+    }
+
+    #[test]
+    fn with_domain_covers_every_fault_of_the_domain() {
+        let plan = ChaosPlan::new(1).with_domain(Domain::Trace, FaultPolicy::always(1));
+        assert_eq!(
+            plan.faults(),
+            vec![
+                Fault::TraceCorrupt,
+                Fault::TraceTruncate,
+                Fault::TraceReorder
+            ]
+        );
+        assert_eq!(plan.policy(Fault::WorkerPanic), None);
+    }
+
+    #[test]
+    fn outcome_notes_balance_the_books() {
+        let _l = lock();
+        let _g = arm(ChaosPlan::new(9)
+            .with(Fault::SpillWrite, FaultPolicy::always(2))
+            .with(Fault::SolverStall, FaultPolicy::always(1)));
+        assert!(inject(Fault::SpillWrite).is_some());
+        note_recovered(Domain::Store);
+        assert!(inject(Fault::SpillWrite).is_some());
+        note_degraded(Domain::Store);
+        assert!(inject(Fault::SolverStall).is_some());
+        note_typed_error(Domain::Solver);
+        let s = stats().unwrap();
+        let store = s.domain(Domain::Store);
+        assert_eq!((store.injected, store.recovered, store.degraded), (2, 1, 1));
+        assert_eq!(store.handled(), 2);
+        let solver = s.domain(Domain::Solver);
+        assert_eq!((solver.injected, solver.typed_errors), (1, 1));
+        assert_eq!(s.domain(Domain::Pool), DomainStats::default());
+    }
+
+    #[test]
+    fn entropy_is_stable_for_a_fixed_call_index() {
+        let _l = lock();
+        let first = |seed| {
+            let _g = arm(ChaosPlan::new(seed).with(Fault::TraceTruncate, FaultPolicy::always(1)));
+            inject(Fault::TraceTruncate)
+        };
+        assert_eq!(first(5), first(5));
+        assert!(first(5).is_some());
+    }
+
+    #[test]
+    fn retry_backs_off_then_succeeds_or_gives_up() {
+        let ok_on_third = |attempt: u32| if attempt >= 2 { Ok(attempt) } else { Err("no") };
+        assert_eq!(retry(3, ok_on_third), Ok(2));
+        assert_eq!(retry(2, ok_on_third), Err("no"));
+        let mut calls = 0;
+        let always_fail = |_| -> Result<(), &str> {
+            calls += 1;
+            Err("down")
+        };
+        assert_eq!(retry(4, always_fail), Err("down"));
+        assert_eq!(calls, 4);
+        // attempts=0 still runs once.
+        assert_eq!(retry(0, |a: u32| Ok::<u32, ()>(a)), Ok(0));
+    }
+
+    #[test]
+    fn rearming_replaces_the_plan() {
+        let _l = lock();
+        let _g1 = arm(ChaosPlan::new(1).with(Fault::IngestDrop, FaultPolicy::always(10)));
+        assert!(inject(Fault::IngestDrop).is_some());
+        let _g2 = arm(ChaosPlan::new(1).with(Fault::WorkerPanic, FaultPolicy::always(1)));
+        assert_eq!(inject(Fault::IngestDrop), None, "old plan replaced");
+        assert!(inject(Fault::WorkerPanic).is_some());
+        assert_eq!(stats().unwrap().domain(Domain::Ingest).injected, 0);
+    }
+}

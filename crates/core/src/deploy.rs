@@ -264,13 +264,17 @@ impl Deployment {
             if run >= end {
                 break;
             }
-            let (outcome, trace, instr_count) = self.run_once(inst, run);
+            let (outcome, mut trace, instr_count) = self.run_once(inst, run);
             er_telemetry::counter!("deploy.runs").incr();
             er_telemetry::counter!("deploy.sim_wait_ns").add(self.reoccurrence.inter_arrival_ns);
             if let RunOutcome::Failure(f) = outcome {
                 er_telemetry::counter!("deploy.failures").incr();
                 let original = inst.failure_to_original(&f);
                 if target.is_none_or(|t| original.same_failure(t)) {
+                    // Fault injection tampers with the shipped trace only
+                    // (never the healthy runs in between), modeling ring
+                    // corruption between the CPU and the crash handler.
+                    trace.chaos_tamper();
                     let pt_stats = trace.stats;
                     return Some(FailureOccurrence {
                         failure: original,

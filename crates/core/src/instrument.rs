@@ -11,6 +11,31 @@
 
 use er_minilang::ir::{Instr, InstrId, Operand, Program};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A recording site that does not name a location in the program — the
+/// symptom of mixing coordinate spaces (instrumented vs. original) or of
+/// selecting against a stale binary. Surfaced as a typed error so callers
+/// can degrade (deploy uninstrumented) instead of dying on an index panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrumentError {
+    /// The offending site (original-program coordinates).
+    pub site: InstrId,
+    /// Which coordinate was out of range.
+    pub what: &'static str,
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot instrument {:?}:{:?}[{}]: {}",
+            self.site.func, self.site.block, self.site.index, self.what
+        )
+    }
+}
+
+impl std::error::Error for InstrumentError {}
 
 /// An instrumented program plus coordinate maps.
 #[derive(Debug, Clone)]
@@ -30,7 +55,23 @@ impl InstrumentedProgram {
     /// Instruments `program` with `ptwrite` after each of `sites`
     /// (original-program coordinates). Sites without a destination register
     /// are skipped — there is no value to record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any site names a function or block the program does not
+    /// have; use [`try_new`](Self::try_new) to get a typed error instead.
     pub fn new(program: &Program, sites: &[InstrId]) -> InstrumentedProgram {
+        Self::try_new(program, sites).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`new`](Self::new), but rejects sites outside the program's
+    /// function/block bounds with a typed [`InstrumentError`] instead of an
+    /// index panic. (A site whose *instruction* index is past the block end
+    /// is still silently skipped, matching the dst-less-site rule.)
+    pub fn try_new(
+        program: &Program,
+        sites: &[InstrId],
+    ) -> Result<InstrumentedProgram, InstrumentError> {
         if er_telemetry::enabled() {
             er_telemetry::counter!("instrument.rebuilds").incr();
             er_telemetry::counter!("instrument.sites_requested").add(sites.len() as u64);
@@ -43,6 +84,19 @@ impl InstrumentedProgram {
         for site in sites {
             if site.index == InstrId::TERMINATOR {
                 continue;
+            }
+            let func = program
+                .funcs
+                .get(site.func.0 as usize)
+                .ok_or(InstrumentError {
+                    site: *site,
+                    what: "function index out of range",
+                })?;
+            if func.blocks.get(site.block.0 as usize).is_none() {
+                return Err(InstrumentError {
+                    site: *site,
+                    what: "block index out of range",
+                });
             }
             by_block
                 .entry((site.func.0, site.block.0))
@@ -104,12 +158,12 @@ impl InstrumentedProgram {
             }
         }
         applied.sort_unstable();
-        InstrumentedProgram {
+        Ok(InstrumentedProgram {
             program,
             to_original,
             from_original,
             sites: applied,
-        }
+        })
     }
 
     /// An identity instrumentation (first ER iteration: control flow only).
@@ -252,6 +306,20 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_sites_are_typed_errors() {
+        let p = compile("fn main() { let x: u32 = 1 + 2; print(x); }").unwrap();
+        let err = InstrumentedProgram::try_new(&p, &[site(7, 0, 0)]).unwrap_err();
+        assert_eq!(err.what, "function index out of range");
+        assert_eq!(err.site, site(7, 0, 0));
+        let err = InstrumentedProgram::try_new(&p, &[site(0, 9, 0)]).unwrap_err();
+        assert_eq!(err.what, "block index out of range");
+        // An in-bounds block with an out-of-range *instruction* index stays
+        // a silent skip (same rule as dst-less sites).
+        let inst = InstrumentedProgram::try_new(&p, &[site(0, 0, 999)]).unwrap();
+        assert!(inst.sites.is_empty());
+    }
+
+    #[test]
     fn failure_ids_translate() {
         let src = r#"
             fn main() {
@@ -263,7 +331,7 @@ mod tests {
         let inst = InstrumentedProgram::new(&p, &[site(0, 0, 0)]);
         let r = Machine::new(&inst.program, Env::new()).run();
         let er_minilang::interp::RunOutcome::Failure(f) = r.outcome else {
-            panic!()
+            panic!("instrumented abort workload must fail, got {:?}", r.outcome)
         };
         let orig = inst.failure_to_original(&f);
         // The abort shifted by one in the instrumented program.

@@ -63,7 +63,7 @@ pub use deploy::{
     Deployment, DeploymentSource, FailureOccurrence, FailureSource, NextFailing, ReoccurrenceModel,
 };
 pub use graph::ConstraintGraph;
-pub use instrument::InstrumentedProgram;
+pub use instrument::{InstrumentError, InstrumentedProgram};
 pub use reconstruct::{
     ErConfig, OccurrenceInfo, Outcome, ReconstructionReport, ReconstructionSession, Reconstructor,
     SessionStep,

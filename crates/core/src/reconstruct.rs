@@ -339,9 +339,21 @@ impl ReconstructionSession {
     pub fn instrumented(&self) -> InstrumentedProgram {
         let _s = er_telemetry::span!("phase.instrument");
         if self.sites.is_empty() {
-            InstrumentedProgram::unmodified(&self.program)
-        } else {
-            InstrumentedProgram::new(&self.program, &self.sites)
+            return InstrumentedProgram::unmodified(&self.program);
+        }
+        match InstrumentedProgram::try_new(&self.program, &self.sites) {
+            Ok(inst) => inst,
+            Err(e) => {
+                // Degraded: a bogus recording site must not kill the
+                // investigation. Deploy the uninstrumented binary instead —
+                // the first-iteration posture (control flow only).
+                er_telemetry::counter!("instrument.rejected").incr();
+                er_telemetry::log!(
+                    warn,
+                    "instrumentation rejected ({e}); deploying uninstrumented"
+                );
+                InstrumentedProgram::unmodified(&self.program)
+            }
         }
     }
 
@@ -363,12 +375,20 @@ impl ReconstructionSession {
     }
 
     /// Consumes an occurrence whose trace could not be decoded — the fleet
-    /// ingestion path reports these without shipping events. Mirrors the
-    /// serial loop: the occurrence still counts, and the investigation
-    /// closes with [`GiveUpReason::TraceDecode`].
+    /// ingestion path reports these without shipping events. A corrupt or
+    /// truncated trace costs one occurrence, not the investigation: the
+    /// failure will reoccur (the reoccurrence hypothesis of §3.1) and the
+    /// next trace may decode. Only when the occurrence budget is spent does
+    /// the session close with [`GiveUpReason::TraceDecode`].
     pub fn note_undecodable(&mut self, info: OccurrenceInfo, error: String) -> SessionStep {
         self.occurrences += 1;
         self.target.get_or_insert(info.failure);
+        if self.wants_more() {
+            er_telemetry::counter!("reconstruct.retry.undecodable").incr();
+            return SessionStep::NeedOccurrence {
+                reinstrumented: false,
+            };
+        }
         SessionStep::Done(self.report(Outcome::GaveUp(GiveUpReason::TraceDecode(error))))
     }
 
@@ -476,16 +496,36 @@ impl ReconstructionSession {
                         };
                         let verify = tc.verify(&self.program);
                         self.iterations.push(stats);
-                        let outcome = if matches!(verify, VerifyResult::Reproduced { .. }) {
-                            Outcome::Reproduced(tc)
-                        } else {
-                            Outcome::GaveUp(GiveUpReason::VerificationFailed)
-                        };
-                        return SessionStep::Done(self.report(outcome));
+                        if matches!(verify, VerifyResult::Reproduced { .. }) {
+                            return SessionStep::Done(self.report(Outcome::Reproduced(tc)));
+                        }
+                        // A non-reproducing test case means the solved
+                        // inputs exercised a schedule- or trace-sensitive
+                        // path; another occurrence may verify.
+                        if self.wants_more() {
+                            er_telemetry::counter!("reconstruct.retry.verification").incr();
+                            return SessionStep::NeedOccurrence {
+                                reinstrumented: false,
+                            };
+                        }
+                        return SessionStep::Done(
+                            self.report(Outcome::GaveUp(GiveUpReason::VerificationFailed)),
+                        );
                     }
                     Err(SolveFailure::Stall(reason)) => format!("final solve: {reason}"),
                     Err(SolveFailure::Unsat) => {
+                        // Unsat from the final solve usually means the
+                        // occurrence's trace (or an injected stall budget)
+                        // over-constrained the path; the next occurrence
+                        // solves a fresh constraint set.
+                        stats.stalled = Some("final solve: unsat".to_string());
                         self.iterations.push(stats);
+                        if self.wants_more() {
+                            er_telemetry::counter!("reconstruct.retry.unsat").incr();
+                            return SessionStep::NeedOccurrence {
+                                reinstrumented: false,
+                            };
+                        }
                         return SessionStep::Done(
                             self.report(Outcome::GaveUp(GiveUpReason::Unsat)),
                         );
@@ -527,6 +567,20 @@ impl ReconstructionSession {
         stats.new_sites = new_sites.clone();
         self.iterations.push(stats);
         if new_sites.is_empty() {
+            // Selection found nothing new to record for *this* stall; a
+            // different occurrence (schedule, inputs) may stall elsewhere
+            // and yield fresh sites, so spend the budget before giving up.
+            if self.wants_more() {
+                er_telemetry::counter!("reconstruct.retry.nothing_to_record").incr();
+                self.prev = Some(ResumeCache {
+                    events,
+                    inst: inst.clone(),
+                    checkpoints,
+                });
+                return SessionStep::NeedOccurrence {
+                    reinstrumented: false,
+                };
+            }
             return SessionStep::Done(self.report(Outcome::GaveUp(GiveUpReason::NothingToRecord)));
         }
         self.sites.extend(new_sites);
@@ -893,6 +947,10 @@ mod tests {
         });
         let config = ErConfig {
             max_occurrences: 3,
+            // This failure is one-shot (a == 3 happens on exactly one run),
+            // so the gap-stall retry would otherwise scan the full default
+            // reoccurrence window before giving up.
+            max_runs_per_occurrence: 100,
             ..ErConfig::default()
         };
         let report = Reconstructor::new(config).reconstruct(&d);

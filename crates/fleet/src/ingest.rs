@@ -46,8 +46,9 @@ pub struct CrashReport {
 }
 
 /// An ingested occurrence parked for analysis: trace in the store, failure
-/// routed to its group.
-#[derive(Debug)]
+/// routed to its group. `Clone` exists for duplicate-delivery fault
+/// injection ([`er_chaos::Fault::IngestDuplicate`]).
+#[derive(Debug, Clone)]
 pub struct PendingOccurrence {
     /// Failure group this occurrence belongs to.
     pub group: u64,
@@ -78,6 +79,12 @@ pub struct IngestStats {
     pub truncated: u64,
     /// Accepted reports whose trace failed to decode.
     pub decode_errors: u64,
+    /// Reports dropped by injected packet loss (re-offered like
+    /// backpressure) — 0 outside fault-injection runs.
+    pub chaos_dropped: u64,
+    /// Duplicate deliveries injected into a drain — 0 outside
+    /// fault-injection runs.
+    pub chaos_duplicates: u64,
 }
 
 /// The bounded ingest queue and its drain.
@@ -101,6 +108,14 @@ impl Ingestor {
     /// Offers one crash report. `false` means the queue is full and the
     /// producer must hold its cursor and retry after the next drain.
     pub fn offer(&mut self, report: CrashReport) -> bool {
+        if er_chaos::inject(er_chaos::Fault::IngestDrop).is_some() {
+            // Injected packet loss rides the backpressure contract: `false`
+            // rolls the producer's cursor back, so the same occurrence is
+            // re-executed and re-offered next round — nothing is lost.
+            self.stats.chaos_dropped += 1;
+            er_chaos::note_recovered(er_chaos::Domain::Ingest);
+            return false;
+        }
         if self.queue.len() >= self.config.queue_cap {
             self.stats.backpressure += 1;
             er_telemetry::counter!("fleet.ingest.backpressure").incr();
@@ -153,7 +168,7 @@ impl Ingestor {
                     (None, false, Some(e.to_string()))
                 }
             };
-            out.push(PendingOccurrence {
+            let pending = PendingOccurrence {
                 group,
                 for_group: report.for_group,
                 version: report.version,
@@ -161,7 +176,16 @@ impl Ingestor {
                 leading_gap,
                 info,
                 error,
-            });
+            };
+            if er_chaos::inject(er_chaos::Fault::IngestDuplicate).is_some() {
+                // Deliver the occurrence twice: the scheduler's run-index
+                // watermark and duplicate checks drop the second copy, so a
+                // double-delivered crash report costs nothing downstream.
+                self.stats.chaos_duplicates += 1;
+                er_chaos::note_recovered(er_chaos::Domain::Ingest);
+                out.push(pending.clone());
+            }
+            out.push(pending);
         }
         out
     }

@@ -75,8 +75,21 @@ pub mod store;
 pub mod triage;
 
 pub use ingest::{CrashReport, IngestConfig, IngestStats, Ingestor, PendingOccurrence};
-pub use pool::parallel_map;
+pub use pool::{parallel_map, try_parallel_map, WorkerPanic};
 pub use sched::{Scheduler, SchedulerConfig, StepOutcome};
 pub use sim::{Fleet, FleetConfig, FleetGroupReport, FleetReport, FleetSpec, Traffic};
-pub use store::{PutResult, StoreConfig, StoreStats, TraceId, TraceStore};
+pub use store::{PutResult, StoreConfig, StoreError, StoreStats, TraceId, TraceStore};
 pub use triage::{FailureGroup, FaultSignature, Triage};
+
+#[cfg(test)]
+pub(crate) mod testsync {
+    //! The chaos plan is process-global; unit tests across this crate's
+    //! modules that arm one must serialize on this lock.
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn chaos_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -2,11 +2,45 @@
 //! out on. Moved here from `er-bench` so production-side code can share it
 //! without depending on the benchmark crate.
 
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// A worker closure panicked (or was chaos-killed) while processing one
+/// item. The other items' results are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item whose closure failed.
+    pub item: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked on item {}: {}", self.item, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Fans `f` out over `items` on a hand-rolled scoped worker pool
-/// (`std::thread` only), returning results in input order.
+/// (`std::thread` only), returning per-item results in input order. A
+/// panicking closure costs exactly its own item — the unwind is caught and
+/// surfaced as [`WorkerPanic`] so the rest of the round completes — and an
+/// armed [`er_chaos`] plan can kill items at the pool boundary (before `f`
+/// runs) to rehearse exactly that path.
 ///
 /// Workers pull the next unclaimed index from a shared atomic counter, so
 /// uneven per-item cost balances automatically. `serial` is the escape
@@ -14,37 +48,94 @@ use std::sync::Mutex;
 /// inline on the calling thread. Telemetry contexts are thread-local, so
 /// callers that tag their work (`er_telemetry::set_context`) must do it
 /// inside `f`, where it lands on the worker actually running the item.
+pub fn try_parallel_map<T, R, F>(items: &[T], serial: bool, f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_map(items, serial, true, f)
+}
+
+fn run_map<T, R, F>(items: &[T], serial: bool, chaos: bool, f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run_one = |i: usize, item: &T| -> Result<R, WorkerPanic> {
+        if chaos && er_chaos::inject(er_chaos::Fault::WorkerPanic).is_some() {
+            // The chaos kill lands at the pool boundary, before `f` touches
+            // the item, so callers holding work in shared slots can requeue
+            // it intact.
+            return Err(WorkerPanic {
+                item: i,
+                message: "chaos: injected worker panic".to_string(),
+            });
+        }
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|p| WorkerPanic {
+            item: i,
+            message: panic_message(p.as_ref()),
+        })
+    };
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if serial || workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, WorkerPanic>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = run_one(i, item);
+                // catch_unwind above means the worker cannot die holding
+                // this lock, but tolerate poison anyway: a poisoned slot
+                // must never take down the round.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| {
+            m.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(WorkerPanic {
+                        item: i,
+                        message: "worker died before storing a result".to_string(),
+                    })
+                })
+        })
+        .collect()
+}
+
+/// [`try_parallel_map`] for infallible closures: re-raises the first
+/// worker panic on the calling thread (after the whole round has run).
+/// Chaos worker-kills are not injected here — callers of this variant have
+/// declared they cannot handle per-item failure.
 pub fn parallel_map<T, R, F>(items: &[T], serial: bool, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
-    if serial || workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let r = f(i, item);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
+    run_map(items, serial, false, f)
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         })
         .collect()
 }
@@ -78,5 +169,33 @@ mod tests {
         let none: Vec<u32> = vec![];
         assert!(parallel_map(&none, false, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[7u32], false, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn panicking_item_costs_only_itself() {
+        let items: Vec<u32> = (0..16).collect();
+        for serial in [true, false] {
+            let out = try_parallel_map(&items, serial, |_, &x| {
+                assert!(x != 7, "doomed item");
+                x * 10
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 7 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.item, 7);
+                    assert!(e.message.contains("doomed item"), "{}", e.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), items[i] * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_items_panicking_still_returns_per_item_errors() {
+        let items = [1u8, 2, 3];
+        let out = try_parallel_map(&items, false, |_, _| -> u8 { panic!("everyone dies") });
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(Result::is_err));
     }
 }

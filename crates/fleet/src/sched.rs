@@ -274,26 +274,60 @@ impl Scheduler {
         // iterations run concurrently; the store is only read here.
         let work: Vec<Mutex<Option<(GroupState, PendingOccurrence)>>> =
             selected.into_iter().map(|w| Mutex::new(Some(w))).collect();
-        let outcomes = pool::parallel_map(&work, serial, |_, slot| {
+        let outcomes = pool::try_parallel_map(&work, serial, |_, slot| {
             let (mut g, p) = slot
                 .lock()
-                .expect("work slot")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take()
                 .expect("work present");
             let label = g.label.clone();
             er_telemetry::set_context(&label);
             let outcome = Self::run_iteration(&mut g, &p, store);
             er_telemetry::set_context("");
-            *slot.lock().expect("work slot") = Some((g, p));
+            *slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((g, p));
             outcome
         });
 
         let mut out = Vec::with_capacity(outcomes.len());
         for (slot, outcome) in work.into_iter().zip(outcomes) {
-            let (mut g, p) = slot
+            let slot = slot
                 .into_inner()
-                .expect("work slot")
-                .expect("work returned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (mut g, p, outcome) = match (outcome, slot) {
+                // Normal completion: the worker put the state back.
+                (Ok(outcome), Some((g, p))) => (g, p, outcome),
+                (Err(panic), Some((mut g, p))) => {
+                    // The worker died *before* touching the work (the pool
+                    // kills at its boundary under chaos): group state and
+                    // occurrence are intact, so requeue the occurrence and
+                    // let a later round consume it. The trace stays pinned.
+                    er_telemetry::counter!("fleet.sched.requeued").incr();
+                    er_telemetry::log!(
+                        warn,
+                        "analyze worker died for group {:#x} ({}); occurrence requeued",
+                        g.id,
+                        panic.message
+                    );
+                    er_chaos::note_recovered(er_chaos::Domain::Pool);
+                    g.pending.push_front(p);
+                    self.groups.insert(g.id, g);
+                    continue;
+                }
+                (_, None) => {
+                    // The closure panicked mid-iteration: the session state
+                    // unwound with it. The group is lost — log it, count
+                    // it, and keep the round (and every other group) alive.
+                    er_telemetry::counter!("fleet.sched.lost_groups").incr();
+                    er_telemetry::log!(
+                        warn,
+                        "analyze worker panicked mid-iteration; group state lost"
+                    );
+                    er_chaos::note_typed_error(er_chaos::Domain::Pool);
+                    continue;
+                }
+            };
             if let Some(id) = p.trace {
                 store.unpin(id);
             }
@@ -332,16 +366,16 @@ impl Scheduler {
         g.next_run = p.info.run_index + 1;
         let step = match p.trace {
             Some(id) => match store.get(id) {
-                Some((packets, gap)) => {
+                Ok((packets, gap)) => {
                     let events = {
                         let _s = er_telemetry::span!("shepherd.decode");
                         packets_to_events(&packets, gap)
                     };
                     g.session.consume_events(&g.inst, p.info.clone(), events)
                 }
-                None => g
+                Err(e) => g
                     .session
-                    .note_undecodable(p.info.clone(), "trace evicted before analysis".into()),
+                    .note_undecodable(p.info.clone(), format!("trace unavailable: {e}")),
             },
             None => g.session.note_undecodable(
                 p.info.clone(),

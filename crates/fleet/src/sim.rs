@@ -268,7 +268,7 @@ impl Fleet {
                     .collect();
                 let cursors: Vec<u64> = instances.iter().map(|s| s.cursor).collect();
                 let label = self.spec.label.clone();
-                let produced = pool::parallel_map(
+                let produced = pool::try_parallel_map(
                     &(0..m).collect::<Vec<usize>>(),
                     self.config.serial,
                     |_, &i| {
@@ -286,7 +286,19 @@ impl Fleet {
                 );
                 for (i, occ) in produced.into_iter().enumerate() {
                     match occ {
-                        Some(occ) => {
+                        Err(panic) => {
+                            // The producer worker died: nothing was
+                            // observed, the cursor stays put, and the same
+                            // batch re-runs (identically) next round.
+                            er_telemetry::counter!("fleet.produce.worker_panics").incr();
+                            er_telemetry::log!(
+                                warn,
+                                "produce worker died for instance {i}: {}",
+                                panic.message
+                            );
+                            er_chaos::note_recovered(er_chaos::Domain::Pool);
+                        }
+                        Ok(Some(occ)) => {
                             er_telemetry::counter!("fleet.occurrences").incr();
                             let mut occ = occ;
                             instances[i].cursor = occ.run_index + 1;
@@ -304,7 +316,7 @@ impl Fleet {
                                 instances[i].cursor -= 1;
                             }
                         }
-                        None => instances[i].cursor += self.config.batch_runs,
+                        Ok(None) => instances[i].cursor += self.config.batch_runs,
                     }
                 }
             }

@@ -42,6 +42,41 @@ impl Default for StoreConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TraceId(pub u64);
 
+/// Why a stored trace could not be retrieved. Every variant is a typed,
+/// recoverable condition: the scheduler reports the occurrence as
+/// undecodable and the session retries with the next reoccurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Never stored, or evicted without a spill directory.
+    Missing,
+    /// Spilled to disk, but the spill file could not be read back (even
+    /// after retries).
+    SpillUnreadable {
+        /// The unreadable spill file.
+        path: PathBuf,
+    },
+    /// Stored bytes failed to decompress.
+    Corrupt,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Missing => write!(f, "trace evicted or never stored"),
+            StoreError::SpillUnreadable { path } => {
+                write!(f, "spill file unreadable: {}", path.display())
+            }
+            StoreError::Corrupt => write!(f, "stored trace failed to decompress"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Attempts per spill-file read or write before giving up — the retry half
+/// of the store's retry-or-degrade policy for transient disk trouble.
+const SPILL_IO_ATTEMPTS: u32 = 3;
+
 /// Cumulative store statistics (serialized into the fleet report).
 #[derive(Debug, Clone, Copy, Default, serde::Serialize)]
 pub struct StoreStats {
@@ -53,6 +88,9 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Evicted traces written to the spill directory.
     pub spills: u64,
+    /// Spill writes that failed (after retries); the trace stayed in
+    /// memory at degraded budget fidelity instead of being lost.
+    pub spill_failures: u64,
     /// PT packets offered, cumulative (ingestion-throughput numerator).
     pub packets: u64,
     /// Raw (uncompressed codec) bytes offered, cumulative.
@@ -201,13 +239,22 @@ impl TraceStore {
     }
 
     /// Retrieves and decompresses a stored trace: the packets and the
-    /// leading-gap flag. `None` if the trace was evicted without a spill
-    /// directory (or never existed).
-    pub fn get(&self, id: TraceId) -> Option<(Vec<Packet>, bool)> {
-        let e = self.entries.get(&id.0)?;
-        let bytes = self.bytes_of(e)?;
-        let packets = decompress(&bytes).ok()?;
-        Some((packets, e.leading_gap))
+    /// leading-gap flag.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Missing`] if the trace was evicted without a spill
+    /// directory (or never existed), [`StoreError::SpillUnreadable`] if
+    /// the spill file failed to read back after retries,
+    /// [`StoreError::Corrupt`] if the stored bytes do not decompress.
+    pub fn get(&self, id: TraceId) -> Result<(Vec<Packet>, bool), StoreError> {
+        let e = self.entries.get(&id.0).ok_or(StoreError::Missing)?;
+        let bytes = match &e.data {
+            Slot::Mem(b) => b.clone(),
+            Slot::Disk(p) => read_spill(p)?,
+        };
+        let packets = decompress(&bytes).map_err(|_| StoreError::Corrupt)?;
+        Ok((packets, e.leading_gap))
     }
 
     /// Marks a trace in use by a pending occurrence: it will not be
@@ -238,11 +285,15 @@ impl TraceStore {
     fn bytes_of(&self, e: &Entry) -> Option<Vec<u8>> {
         match &e.data {
             Slot::Mem(b) => Some(b.clone()),
-            Slot::Disk(p) => std::fs::read(p).ok(),
+            Slot::Disk(p) => read_spill(p).ok(),
         }
     }
 
     fn enforce_caps(&mut self, group: u64) {
+        // Entries that refused eviction this call (spill write failed and
+        // the degraded policy kept them in memory); skipping them keeps
+        // both loops terminating under persistent disk failure.
+        let mut refused: Vec<u64> = Vec::new();
         // Per-group retention counts *in-memory* traces: oldest unpinned
         // beyond the cap are evicted first (spilled copies don't count).
         let in_mem = |entries: &HashMap<u64, Entry>, id: &u64| {
@@ -256,49 +307,75 @@ impl TraceStore {
             let victim = self.per_group.get(&group).and_then(|q| {
                 q.iter()
                     .find(|id| {
-                        in_mem(&self.entries, id)
+                        !refused.contains(id)
+                            && in_mem(&self.entries, id)
                             && self.entries.get(id).is_some_and(|e| e.pinned == 0)
                     })
                     .copied()
             });
             match victim {
-                Some(v) => self.evict(v),
-                None => break, // everything pinned: over cap but safe
+                Some(v) => {
+                    if !self.evict(v) {
+                        refused.push(v);
+                    }
+                }
+                None => break, // everything pinned or refusing: over cap but safe
             }
         }
         // Global byte budget: evict oldest unpinned in-memory entries.
         while self.mem_bytes > self.config.byte_budget {
             let victim = self.order.iter().copied().find(|id| {
-                self.entries
-                    .get(id)
-                    .is_some_and(|e| e.pinned == 0 && matches!(e.data, Slot::Mem(_)))
+                !refused.contains(id)
+                    && self
+                        .entries
+                        .get(id)
+                        .is_some_and(|e| e.pinned == 0 && matches!(e.data, Slot::Mem(_)))
             });
             match victim {
-                Some(v) => self.evict(v),
+                Some(v) => {
+                    if !self.evict(v) {
+                        refused.push(v);
+                    }
+                }
                 None => break,
             }
         }
     }
 
-    fn evict(&mut self, id: u64) {
+    /// Evicts one entry: spilled to disk, dropped, or — when the spill
+    /// write fails after retries — kept in memory as the degraded
+    /// fallback. Returns whether memory was actually freed.
+    fn evict(&mut self, id: u64) -> bool {
         let Some(mut e) = self.entries.remove(&id) else {
-            return;
+            return true;
         };
         if let Slot::Mem(bytes) = &e.data {
-            self.mem_bytes -= bytes.len();
-            self.stats.evictions += 1;
-            er_telemetry::counter!("fleet.store.evictions").incr();
+            let len = bytes.len();
             if let Some(dir) = &self.config.spill_dir {
                 let _ = std::fs::create_dir_all(dir);
                 let path = dir.join(format!("trace-{id}.erz"));
-                if std::fs::write(&path, bytes).is_ok() {
+                if write_spill(&path, bytes) {
+                    self.mem_bytes -= len;
+                    self.stats.evictions += 1;
                     self.stats.spills += 1;
+                    er_telemetry::counter!("fleet.store.evictions").incr();
                     er_telemetry::counter!("fleet.store.spills").incr();
                     e.data = Slot::Disk(path);
                     self.entries.insert(id, e);
-                    return;
+                    return true;
                 }
+                // Degraded: losing a trace is worse than blowing the byte
+                // budget, so a failed spill keeps its entry in memory; the
+                // caller skips it and retries eviction on a later put.
+                self.stats.spill_failures += 1;
+                er_telemetry::counter!("fleet.store.spill_failures").incr();
+                er_telemetry::log!(warn, "spill write failed for trace {id}; keeping in memory");
+                self.entries.insert(id, e);
+                return false;
             }
+            self.mem_bytes -= len;
+            self.stats.evictions += 1;
+            er_telemetry::counter!("fleet.store.evictions").incr();
         }
         // Dropped entirely: forget the content address and group slot.
         if let Some(ids) = self.by_addr.get_mut(&e.addr) {
@@ -308,7 +385,53 @@ impl TraceStore {
             q.retain(|&i| i != id);
         }
         self.order.retain(|&i| i != id);
+        true
     }
+}
+
+/// Reads one spill file with bounded retries; an armed chaos plan can fail
+/// individual attempts ([`er_chaos::Fault::SpillRead`]).
+fn read_spill(path: &std::path::Path) -> Result<Vec<u8>, StoreError> {
+    let mut injected = false;
+    let result = er_chaos::retry(SPILL_IO_ATTEMPTS, |_| {
+        if er_chaos::inject(er_chaos::Fault::SpillRead).is_some() {
+            injected = true;
+            return Err(StoreError::SpillUnreadable {
+                path: path.to_path_buf(),
+            });
+        }
+        std::fs::read(path).map_err(|_| StoreError::SpillUnreadable {
+            path: path.to_path_buf(),
+        })
+    });
+    if injected {
+        match &result {
+            Ok(_) => er_chaos::note_recovered(er_chaos::Domain::Store),
+            Err(_) => er_chaos::note_typed_error(er_chaos::Domain::Store),
+        }
+    }
+    result
+}
+
+/// Writes one spill file with bounded retries; an armed chaos plan can
+/// fail individual attempts ([`er_chaos::Fault::SpillWrite`]). The caller
+/// degrades to keeping the trace in memory on `false`.
+fn write_spill(path: &std::path::Path, bytes: &[u8]) -> bool {
+    let mut injected = false;
+    let result = er_chaos::retry(SPILL_IO_ATTEMPTS, |_| {
+        if er_chaos::inject(er_chaos::Fault::SpillWrite).is_some() {
+            injected = true;
+            return Err(());
+        }
+        std::fs::write(path, bytes).map_err(|_| ())
+    });
+    if injected {
+        match result {
+            Ok(()) => er_chaos::note_recovered(er_chaos::Domain::Store),
+            Err(()) => er_chaos::note_degraded(er_chaos::Domain::Store),
+        }
+    }
+    result.is_ok()
 }
 
 #[cfg(test)]
@@ -356,9 +479,9 @@ mod tests {
         let ids: Vec<TraceId> = (0..4)
             .map(|i| s.put(1, &packets(10 + i), false).id)
             .collect();
-        assert!(s.get(ids[0]).is_none(), "oldest evicted");
-        assert!(s.get(ids[1]).is_none());
-        assert!(s.get(ids[2]).is_some() && s.get(ids[3]).is_some());
+        assert_eq!(s.get(ids[0]), Err(StoreError::Missing), "oldest evicted");
+        assert_eq!(s.get(ids[1]), Err(StoreError::Missing));
+        assert!(s.get(ids[2]).is_ok() && s.get(ids[3]).is_ok());
         assert_eq!(s.stats().evictions, 2);
     }
 
@@ -374,10 +497,14 @@ mod tests {
         for i in 0..5 {
             s.put(1, &packets(41 + i), false);
         }
-        assert!(s.get(first).is_some(), "pinned entry never evicted");
+        assert!(s.get(first).is_ok(), "pinned entry never evicted");
         s.unpin(first);
         s.put(1, &packets(99), false);
-        assert!(s.get(first).is_none(), "unpinned entry is fair game");
+        assert_eq!(
+            s.get(first),
+            Err(StoreError::Missing),
+            "unpinned entry is fair game"
+        );
     }
 
     #[test]
@@ -397,6 +524,88 @@ mod tests {
         assert_eq!(back, p);
         // And spilled bytes still dedup against a reoffer.
         assert!(s.put(1, &p, false).deduped);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_spill_file_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("er-fleet-rm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = TraceStore::new(StoreConfig {
+            per_group_cap: 1,
+            byte_budget: 1 << 20,
+            spill_dir: Some(dir.clone()),
+        });
+        let first = s.put(1, &packets(30), false).id;
+        s.put(1, &packets(31), false);
+        assert_eq!(s.stats().spills, 1);
+        // An operator (or a disk) losing the spill file must surface as a
+        // typed error, not a panic or a silent `None`.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(matches!(
+            s.get(first),
+            Err(StoreError::SpillUnreadable { .. })
+        ));
+    }
+
+    #[test]
+    fn spill_read_fault_recovers_with_retry() {
+        let _l = crate::testsync::chaos_lock();
+        let dir = std::env::temp_dir().join(format!("er-fleet-cr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = TraceStore::new(StoreConfig {
+            per_group_cap: 1,
+            byte_budget: 1 << 20,
+            spill_dir: Some(dir.clone()),
+        });
+        let p = packets(30);
+        let first = s.put(1, &p, false).id;
+        s.put(1, &packets(31), false); // evicts + spills `first`
+        assert_eq!(s.stats().spills, 1);
+        // Fewer injections than retry attempts: the read must recover.
+        let _g = er_chaos::arm(er_chaos::ChaosPlan::new(3).with(
+            er_chaos::Fault::SpillRead,
+            er_chaos::FaultPolicy::always(u64::from(SPILL_IO_ATTEMPTS) - 1),
+        ));
+        let (back, _) = s.get(first).expect("retry absorbs transient read faults");
+        assert_eq!(back, p);
+        let st = er_chaos::stats().unwrap().domain(er_chaos::Domain::Store);
+        assert_eq!(st.injected, u64::from(SPILL_IO_ATTEMPTS) - 1);
+        assert_eq!(st.recovered, 1);
+        drop(_g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_write_fault_degrades_to_memory() {
+        let _l = crate::testsync::chaos_lock();
+        let dir = std::env::temp_dir().join(format!("er-fleet-cw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = TraceStore::new(StoreConfig {
+            per_group_cap: 1,
+            byte_budget: 1 << 20,
+            spill_dir: Some(dir.clone()),
+        });
+        let p = packets(30);
+        let first = s.put(1, &p, false).id;
+        // Enough injections to exhaust every write attempt for both
+        // eviction candidates the cap loop will try: every spill fails and
+        // the degraded policy keeps both traces in memory.
+        let _g = er_chaos::arm(er_chaos::ChaosPlan::new(3).with(
+            er_chaos::Fault::SpillWrite,
+            er_chaos::FaultPolicy::always(u64::from(SPILL_IO_ATTEMPTS) * 2),
+        ));
+        s.put(1, &packets(31), false); // tries to evict + spill `first`
+        assert_eq!(s.stats().spills, 0);
+        assert_eq!(s.stats().spill_failures, 2, "both candidates refused");
+        let (back, _) = s.get(first).expect("degraded entry still readable");
+        assert_eq!(back, p);
+        let st = er_chaos::stats().unwrap().domain(er_chaos::Domain::Store);
+        assert_eq!(st.degraded, 2);
+        drop(_g);
+        // With chaos disarmed the next eviction pressure spills cleanly.
+        s.put(1, &packets(32), false);
+        assert!(s.stats().spills >= 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

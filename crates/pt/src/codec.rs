@@ -173,13 +173,52 @@ pub fn decode_from(bytes: &[u8], start: usize) -> Result<Vec<Packet>, DecodeErro
     Ok(out)
 }
 
+/// How many bytes [`resync`] validates past a candidate PSB before
+/// accepting it. A payload byte masquerading as PSB desynchronizes the
+/// packet grammar almost immediately (payloads are at most 33 bytes), so a
+/// few KiB of clean structure is overwhelming evidence of a real sync
+/// point — and bounding the scan keeps resync linear in the buffer size
+/// instead of quadratic.
+pub const RESYNC_LOOKAHEAD: usize = 4096;
+
 /// Finds the first PSB at or after `from`, for resynchronizing in a wrapped
 /// buffer. A PSB opcode byte can also appear inside another packet's
-/// payload, so candidates are validated by decoding ahead.
+/// payload, so candidates are validated by walking the packet structure
+/// over a bounded window ([`RESYNC_LOOKAHEAD`] bytes). Truncated tails are
+/// accepted: a wrapped or cut-short buffer legitimately ends mid-packet,
+/// and rejecting it would discard every real sync point in a damaged
+/// trace.
 pub fn resync(bytes: &[u8], from: usize) -> Option<usize> {
     (from..bytes.len())
         .filter(|&i| bytes[i] == OP_PSB)
-        .find(|&i| decode_from(bytes, i).is_ok())
+        .find(|&i| plausible_from(bytes, i))
+}
+
+/// Structurally validates a bounded window after a candidate sync point.
+/// Walks packet lengths without materializing packets, so each candidate
+/// costs O(`RESYNC_LOOKAHEAD`) instead of a full-suffix decode.
+fn plausible_from(bytes: &[u8], start: usize) -> bool {
+    let window_end = bytes.len().min(start.saturating_add(RESYNC_LOOKAHEAD));
+    let mut i = start;
+    while i < window_end {
+        match bytes[i] {
+            OP_PSB | OP_OVF | OP_RET => i += 1,
+            OP_TIP => i += 5,
+            OP_PTW | OP_TSC | OP_PGE => i += 9,
+            OP_TNT => {
+                let Some(&count) = bytes.get(i + 1) else {
+                    // The count byte itself was cut off: a truncated tail,
+                    // which is a valid place for a damaged buffer to end.
+                    return true;
+                };
+                i += 2 + (count as usize).div_ceil(8);
+            }
+            _ => return false,
+        }
+    }
+    // Either the window was clean, or the final packet's payload extends
+    // past the end of the buffer (a truncated tail) — both are plausible.
+    true
 }
 
 #[cfg(test)]
@@ -244,6 +283,32 @@ mod tests {
             decode_from(&bytes, at).unwrap(),
             vec![Packet::Psb, Packet::Ret]
         );
+    }
+
+    #[test]
+    fn resync_accepts_truncated_tail() {
+        // A wrapped buffer that ends mid-packet still has a perfectly good
+        // sync point; the old full-decode validation wrongly rejected it.
+        let mut bytes = vec![0x13]; // garbage from a wrapped packet
+        bytes.extend(encode(&[Packet::Psb, Packet::Ptw { value: 7 }]));
+        bytes.truncate(bytes.len() - 3); // cut the PTW payload short
+        let at = resync(&bytes, 0).expect("truncated tail is a valid sync point");
+        assert_eq!(at, 1);
+        assert!(matches!(
+            decode_from(&bytes, at),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn resync_validation_is_bounded() {
+        // Damage far beyond the lookahead window does not disqualify a
+        // candidate: validation is O(RESYNC_LOOKAHEAD), and distant damage
+        // is the decode loop's problem, not resync's.
+        let mut bytes = encode(&[Packet::Psb]);
+        bytes.extend(std::iter::repeat_n(super::OP_RET, RESYNC_LOOKAHEAD));
+        bytes.push(0xFF);
+        assert_eq!(resync(&bytes, 0), Some(0));
     }
 
     #[test]

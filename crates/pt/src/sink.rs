@@ -49,6 +49,9 @@ pub struct PtStats {
     /// Packets lost to ring-buffer overwriting (0 until the ring wraps).
     /// Set when the trace is finalized so ingestion can report truncation.
     pub packets_dropped: u64,
+    /// Chaos faults applied to the finalized bytes ([`PtTrace::chaos_tamper`]);
+    /// 0 outside fault-injection runs.
+    pub chaos_tampered: u64,
 }
 
 /// An online PT encoder implementing the interpreter's [`TraceSink`].
@@ -224,11 +227,73 @@ impl PtTrace {
     /// Returns a [`DecodeError`] if the stream is corrupt or a wrapped
     /// stream contains no sync point.
     pub fn packets(&self) -> Result<(Vec<Packet>, bool), DecodeError> {
-        if self.wrapped {
-            let at = codec::resync(&self.bytes, 0).ok_or(DecodeError::NoSyncPoint)?;
-            Ok((codec::decode_from(&self.bytes, at)?, true))
-        } else {
-            Ok((codec::decode(&self.bytes)?, false))
+        let result = self.packets_inner();
+        if self.stats.chaos_tampered > 0 {
+            // Account for injected trace damage: either the decoder walked
+            // through it (recovered) or it surfaced as a typed error.
+            match &result {
+                Ok(_) => er_chaos::note_recovered(er_chaos::Domain::Trace),
+                Err(_) => er_chaos::note_typed_error(er_chaos::Domain::Trace),
+            }
+        }
+        result
+    }
+
+    fn packets_inner(&self) -> Result<(Vec<Packet>, bool), DecodeError> {
+        if !self.wrapped {
+            return Ok((codec::decode(&self.bytes)?, false));
+        }
+        let mut at = codec::resync(&self.bytes, 0).ok_or(DecodeError::NoSyncPoint)?;
+        loop {
+            match codec::decode_from(&self.bytes, at) {
+                Ok(packets) => return Ok((packets, true)),
+                // resync validates a bounded window, so an accepted sync
+                // point can still run into damage further out; everything
+                // up to the damage is part of the (already reported) gap,
+                // and decoding restarts at the next sync point after it.
+                Err(DecodeError::BadOpcode { at: bad, .. } | DecodeError::Corrupt { at: bad }) => {
+                    at = codec::resync(&self.bytes, bad + 1).ok_or(DecodeError::NoSyncPoint)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Applies any armed Trace-domain chaos faults to the finalized bytes,
+    /// in place. The deployment layer calls this on the failing occurrence
+    /// that ships to ingestion — never on healthy runs — so injection
+    /// budgets are spent on traces the pipeline actually has to survive.
+    pub fn chaos_tamper(&mut self) {
+        if !er_chaos::armed() || self.bytes.is_empty() {
+            return;
+        }
+        if let Some(e) = er_chaos::inject(er_chaos::Fault::TraceCorrupt) {
+            // Flip a few bytes at entropy-chosen offsets: models silent
+            // DMA/transport corruption.
+            let n = self.bytes.len() as u64;
+            for k in 0..3u64 {
+                let idx = (e.rotate_left(17 * k as u32) ^ k.wrapping_mul(0x9e37_79b9)) % n;
+                self.bytes[idx as usize] ^= 0x5a;
+            }
+            self.stats.chaos_tampered += 1;
+        }
+        if let Some(e) = er_chaos::inject(er_chaos::Fault::TraceTruncate) {
+            // Cut the tail short: models a snapshot racing the writer.
+            let n = self.bytes.len();
+            let keep = 1 + (e as usize) % n.max(1);
+            self.bytes.truncate(keep.min(n.saturating_sub(1)).max(1));
+            self.stats.chaos_tampered += 1;
+        }
+        if let Some(e) = er_chaos::inject(er_chaos::Fault::TraceReorder) {
+            // Rotate the byte stream: models out-of-order chunk delivery.
+            let n = self.bytes.len();
+            if n >= 4 {
+                self.bytes.rotate_left(1 + (e as usize) % (n - 2));
+                // A rotated stream no longer starts at a packet boundary;
+                // decoding must resynchronize like a wrapped ring.
+                self.wrapped = true;
+                self.stats.chaos_tampered += 1;
+            }
         }
     }
 
@@ -438,6 +503,96 @@ mod tests {
         assert_eq!(st.rets, 1);
         assert_eq!(st.ptwrites, 1);
         assert_eq!(st.resumes, 1);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use er_chaos::{ChaosPlan, Domain, Fault, FaultPolicy};
+    use std::sync::Mutex;
+
+    // The chaos plan is process-global; tamper tests must not overlap.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn trace_with_traffic() -> PtTrace {
+        let mut s = PtSink::new(PtConfig {
+            ring_bytes: 1 << 16,
+            psb_period: 16,
+            timestamps: false,
+        });
+        for i in 0..200u64 {
+            s.cond_branch(i % 3 == 0);
+            s.ptwrite(i);
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn tamper_is_inert_when_disarmed() {
+        let _l = lock();
+        er_chaos::disarm();
+        let mut t = trace_with_traffic();
+        let before = t.bytes.clone();
+        t.chaos_tamper();
+        assert_eq!(t.bytes, before);
+        assert_eq!(t.stats.chaos_tampered, 0);
+    }
+
+    #[test]
+    fn truncated_trace_surfaces_a_typed_error_never_a_panic() {
+        let _l = lock();
+        let _g =
+            er_chaos::arm(ChaosPlan::new(11).with(Fault::TraceTruncate, FaultPolicy::always(1)));
+        let mut t = trace_with_traffic();
+        t.chaos_tamper();
+        assert_eq!(t.stats.chaos_tampered, 1);
+        // Damaged or not, decoding must terminate without panicking.
+        let _ = t.packets();
+        let s = er_chaos::stats().unwrap();
+        let d = s.domain(Domain::Trace);
+        assert_eq!(d.injected, 1);
+        assert!(d.handled() >= 1, "tamper outcome must be accounted: {d:?}");
+    }
+
+    #[test]
+    fn reordered_trace_resyncs_or_errors_without_panicking() {
+        let _l = lock();
+        let _g =
+            er_chaos::arm(ChaosPlan::new(23).with(Fault::TraceReorder, FaultPolicy::always(1)));
+        let mut t = trace_with_traffic();
+        t.chaos_tamper();
+        assert_eq!(t.stats.chaos_tampered, 1);
+        assert!(t.wrapped, "a rotated stream must resynchronize like a wrap");
+        match t.packets() {
+            Ok((packets, gap)) => {
+                assert!(gap, "resynced decode reports the lost prefix");
+                assert!(!packets.is_empty());
+            }
+            Err(e) => {
+                // Typed, never a panic.
+                let _ = e.to_string();
+            }
+        }
+        assert!(er_chaos::stats().unwrap().domain(Domain::Trace).handled() >= 1);
+    }
+
+    #[test]
+    fn corrupted_trace_decodes_or_errors_without_panicking() {
+        let _l = lock();
+        let _g = er_chaos::arm(ChaosPlan::new(5).with(Fault::TraceCorrupt, FaultPolicy::always(1)));
+        let mut t = trace_with_traffic();
+        let before = t.bytes.clone();
+        t.chaos_tamper();
+        assert_ne!(t.bytes, before, "corruption must actually flip bytes");
+        assert_eq!(t.bytes.len(), before.len());
+        let _ = t.packets();
+        assert!(er_chaos::stats().unwrap().domain(Domain::Trace).handled() >= 1);
     }
 }
 

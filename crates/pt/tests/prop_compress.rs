@@ -116,6 +116,89 @@ proptest! {
         prop_assert_eq!(decompress(&packed).unwrap(), packets);
     }
 
+    /// `codec::decode` on completely arbitrary bytes never panics and
+    /// always terminates: every outcome is `Ok` or a typed `DecodeError`.
+    #[test]
+    fn decode_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    /// Bit-flipping a well-formed stream never panics the decoder.
+    #[test]
+    fn decode_survives_bit_flips(
+        packets in prop::collection::vec(packet(), 1..40),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = codec::encode(&packets);
+        let pos = pos.index(bytes.len());
+        bytes[pos] ^= 1 << bit;
+        let _ = codec::decode(&bytes);
+    }
+
+    /// Truncating a well-formed stream anywhere yields `Ok` (clean packet
+    /// boundary) or `Truncated` — never a panic, never `BadOpcode`.
+    #[test]
+    fn decode_truncation_is_typed(
+        packets in prop::collection::vec(packet(), 1..40),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = codec::encode(&packets);
+        let cut = cut.index(bytes.len() + 1);
+        match codec::decode(&bytes[..cut]) {
+            Ok(_) | Err(codec::DecodeError::Truncated { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error on truncation: {e}"),
+        }
+    }
+
+    /// `resync` terminates on arbitrary bytes, and any sync point it
+    /// returns really is a PSB opcode byte within bounds.
+    #[test]
+    fn resync_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+        from in any::<prop::sample::Index>(),
+    ) {
+        let from = from.index(bytes.len() + 1);
+        if let Some(at) = codec::resync(&bytes, from) {
+            prop_assert!(at >= from && at < bytes.len());
+            prop_assert_eq!(bytes[at], 0xA0);
+        }
+    }
+
+    /// `decompress` on completely arbitrary bytes never panics and always
+    /// terminates.
+    #[test]
+    fn decompress_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decompress(&bytes);
+    }
+
+    /// A tampered `PtTrace` (rotated + truncated, the worst chaos does)
+    /// decodes to a typed result, never a panic, even when forced through
+    /// the wrapped-path resynchronization loop.
+    #[test]
+    fn wrapped_decode_survives_tampering(
+        branches in prop::collection::vec(any::<bool>(), 16..400),
+        rot in any::<prop::sample::Index>(),
+        keep in any::<prop::sample::Index>(),
+    ) {
+        let mut sink = PtSink::new(PtConfig {
+            ring_bytes: 1 << 20,
+            psb_period: 16,
+            timestamps: false,
+        });
+        use er_minilang::trace::TraceSink;
+        for &b in &branches {
+            sink.cond_branch(b);
+            sink.ptwrite(u64::from(b));
+        }
+        let mut trace = sink.finish();
+        let n = trace.bytes.len();
+        trace.bytes.rotate_left(rot.index(n));
+        trace.bytes.truncate(keep.index(n) + 1);
+        trace.wrapped = true; // force the resync loop
+        let _ = trace.packets();
+    }
+
     /// Loop-heavy (all-taken) branch runs always compress by a wide margin
     /// — the fleet acceptance bar is 1.5x, canonical traces clear it easily.
     #[test]

@@ -200,12 +200,18 @@ impl<'p> Solver<'p> {
 
     /// Checks the asserted formula under `budget`.
     pub fn check(&mut self, budget: &Budget) -> SatResult {
+        if let Some(stall) = chaos_stall(budget) {
+            return stall;
+        }
         self.inc.check(self.pool, &self.assertions, budget)
     }
 
     /// Checks the asserted formula plus `assumptions` without retaining
     /// them.
     pub fn check_assuming(&mut self, assumptions: &[ExprRef], budget: &Budget) -> SatResult {
+        if let Some(stall) = chaos_stall(budget) {
+            return stall;
+        }
         self.inc
             .check_assuming(self.pool, &self.assertions, assumptions, budget)
     }
@@ -214,6 +220,21 @@ impl<'p> Solver<'p> {
     pub fn last_stats(&self) -> SolveStats {
         self.inc.last_stats()
     }
+}
+
+/// Injected solver stall ([`er_chaos::Fault::SolverStall`]): models the
+/// paper's 30-second wall-clock timeout tripping before the search decides.
+/// Reported as an ordinary conflict-budget stall so every caller's existing
+/// stall handling — key data value selection, retry on the next occurrence —
+/// exercises unchanged; no caller can tell an injected stall from a real one.
+fn chaos_stall(budget: &Budget) -> Option<SatResult> {
+    if er_chaos::inject(er_chaos::Fault::SolverStall).is_some() {
+        er_chaos::note_degraded(er_chaos::Domain::Solver);
+        return Some(SatResult::Unknown(StallReason::Conflicts {
+            conflicts: budget.max_conflicts,
+        }));
+    }
+    None
 }
 
 #[cfg(test)]

@@ -1,0 +1,49 @@
+//! Fault injection at the solver boundary: an injected stall must look
+//! exactly like the conflict budget tripping — `Unknown(Conflicts)`, never
+//! a panic, never a wrong `Sat`/`Unsat`. Lives in its own integration test
+//! binary because chaos arming is process-global.
+
+use er_solver::expr::{CmpKind, ExprPool};
+use er_solver::solve::{Budget, SatResult, Solver, StallReason};
+
+fn satisfiable_solver(pool: &mut ExprPool) -> Solver<'_> {
+    let x = pool.var("x", 32);
+    let ten = pool.bv_const(10, 32);
+    let lt = pool.cmp(CmpKind::Ult, x, ten);
+    let mut s = Solver::new(pool);
+    s.assert(lt);
+    s
+}
+
+#[test]
+fn injected_stall_is_a_budget_stall_and_then_clears() {
+    let plan = er_chaos::ChaosPlan::new(0xd00d).with(
+        er_chaos::Fault::SolverStall,
+        er_chaos::FaultPolicy::always(1),
+    );
+    let guard = er_chaos::arm(plan);
+
+    let budget = Budget::small();
+    let mut pool = ExprPool::new();
+    let mut s = satisfiable_solver(&mut pool);
+    // First check eats the injection: a plain budget stall, no panic.
+    assert_eq!(
+        s.check(&budget),
+        SatResult::Unknown(StallReason::Conflicts {
+            conflicts: budget.max_conflicts
+        })
+    );
+    // Budget spent: the very next check (the "retry") succeeds.
+    assert!(matches!(s.check(&budget), SatResult::Sat(_)));
+
+    let stats = er_chaos::stats().expect("armed");
+    let dom = stats.domain(er_chaos::Domain::Solver);
+    assert_eq!(dom.injected, 1);
+    assert_eq!(dom.degraded, 1);
+    drop(guard);
+
+    // Disarmed: no injection at all.
+    let mut pool = ExprPool::new();
+    let mut s = satisfiable_solver(&mut pool);
+    assert!(matches!(s.check(&budget), SatResult::Sat(_)));
+}

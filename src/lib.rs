@@ -18,6 +18,7 @@
 //! | [`invariants`] | `er-invariants` | Daikon/MIMIC-style localization |
 //! | [`workloads`] | `er-workloads` | the 13 Table-1 bug programs |
 //! | [`fleet`] | `er-fleet` | fleet simulation: ingestion, triage, scheduling |
+//! | [`chaos`] | `er-chaos` | seeded fault injection across the pipeline's failure domains |
 //!
 //! # End-to-end example
 //!
@@ -52,6 +53,7 @@
 //! ```
 
 pub use er_baselines as baselines;
+pub use er_chaos as chaos;
 pub use er_core as core;
 pub use er_fleet as fleet;
 pub use er_invariants as invariants;
