@@ -236,18 +236,27 @@ fn main() {
         );
     }
 
-    // Chaos fault-injection counters (`chaos.*`), summed over the top-level
+    // Chaos fault-injection counters (`chaos.*`) and durability/watchdog
+    // counters (`durable.*`, `watchdog.*`), summed over the top-level
     // driver spans — `reconstruct` for the serial path, `fleet.run` for
-    // fleet runs — so each delta is counted exactly once (those two spans
-    // never nest; everything else is a child of one of them).
+    // fleet runs, `durable.recover` for WAL replay (opened by
+    // `Scheduler::recover` *before* the resumed `fleet.run` starts) — so
+    // each delta is counted exactly once (those spans never nest;
+    // everything else is a child of one of them).
     let mut chaos: BTreeMap<String, u64> = BTreeMap::new();
+    let mut robustness: BTreeMap<String, u64> = BTreeMap::new();
     for ev in &events {
-        if ev.kind != "span" || (ev.name != "reconstruct" && ev.name != "fleet.run") {
+        if ev.kind != "span"
+            || (ev.name != "reconstruct" && ev.name != "fleet.run" && ev.name != "durable.recover")
+        {
             continue;
         }
         for (cname, v) in &ev.counters {
             if cname.starts_with("chaos.") {
                 *chaos.entry(cname.clone()).or_default() += v;
+            }
+            if cname.starts_with("durable.") || cname.starts_with("watchdog.") {
+                *robustness.entry(cname.clone()).or_default() += v;
             }
         }
     }
@@ -262,6 +271,17 @@ fn main() {
             &chaos_rows,
         );
     }
+    if !robustness.is_empty() {
+        let robust_rows: Vec<Vec<String>> = robustness
+            .iter()
+            .map(|(c, v)| vec![c.clone(), v.to_string()])
+            .collect();
+        print_table(
+            "Durability & watchdog counters (WAL, recovery, supervision)",
+            &["Counter", "Count"],
+            &robust_rows,
+        );
+    }
 
     println!(
         "{} workloads, {} fleet runs, {} span events",
@@ -274,6 +294,7 @@ fn main() {
         workloads: Vec<WorkloadReport>,
         fleet: Vec<FleetRunReport>,
         chaos: BTreeMap<String, u64>,
+        robustness: BTreeMap<String, u64>,
     }
     drop((reports, fleet_reports));
     write_json(
@@ -282,6 +303,7 @@ fn main() {
             workloads: by_workload.into_values().collect(),
             fleet: fleet_runs.into_values().collect(),
             chaos,
+            robustness,
         },
     );
 }

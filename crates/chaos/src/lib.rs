@@ -97,11 +97,14 @@ pub enum Fault {
     WorkerPanic,
     /// Force a solver query to stall (timeout analogue).
     SolverStall,
+    /// Tear the tail of a WAL append (power-loss mid-write): the record
+    /// prefix reaches the log, then the writing process dies.
+    WalTear,
 }
 
 impl Fault {
     /// Every fault, in display order.
-    pub const ALL: [Fault; 9] = [
+    pub const ALL: [Fault; 10] = [
         Fault::TraceCorrupt,
         Fault::TraceTruncate,
         Fault::TraceReorder,
@@ -111,6 +114,7 @@ impl Fault {
         Fault::SpillRead,
         Fault::WorkerPanic,
         Fault::SolverStall,
+        Fault::WalTear,
     ];
 
     /// The failure domain this fault belongs to.
@@ -118,7 +122,7 @@ impl Fault {
         match self {
             Fault::TraceCorrupt | Fault::TraceTruncate | Fault::TraceReorder => Domain::Trace,
             Fault::IngestDrop | Fault::IngestDuplicate => Domain::Ingest,
-            Fault::SpillWrite | Fault::SpillRead => Domain::Store,
+            Fault::SpillWrite | Fault::SpillRead | Fault::WalTear => Domain::Store,
             Fault::WorkerPanic => Domain::Pool,
             Fault::SolverStall => Domain::Solver,
         }
@@ -136,6 +140,7 @@ impl Fault {
             Fault::SpillRead => "spill_read",
             Fault::WorkerPanic => "worker_panic",
             Fault::SolverStall => "solver_stall",
+            Fault::WalTear => "wal_tear",
         }
     }
 
@@ -150,6 +155,7 @@ impl Fault {
             Fault::SpillRead => 6,
             Fault::WorkerPanic => 7,
             Fault::SolverStall => 8,
+            Fault::WalTear => 9,
         }
     }
 }
@@ -163,6 +169,10 @@ pub struct FaultPolicy {
     /// Bounding faults is what lets a sweep assert *recovery*: once the
     /// budget is spent the pipeline sees clean inputs again.
     pub max_injections: u64,
+    /// Skip this many opportunities before the policy becomes eligible.
+    /// Positional policies ([`FaultPolicy::at_nth`]) are how a crash sweep
+    /// kills a process at a *chosen* WAL position instead of a random one.
+    pub after: u64,
 }
 
 impl FaultPolicy {
@@ -171,6 +181,7 @@ impl FaultPolicy {
         FaultPolicy {
             per_mille: 1000,
             max_injections,
+            after: 0,
         }
     }
 
@@ -180,6 +191,16 @@ impl FaultPolicy {
         FaultPolicy {
             per_mille,
             max_injections,
+            after: 0,
+        }
+    }
+
+    /// Inject exactly once, at the `n`th opportunity (0-based).
+    pub fn at_nth(n: u64) -> FaultPolicy {
+        FaultPolicy {
+            per_mille: 1000,
+            max_injections: 1,
+            after: n,
         }
     }
 }
@@ -190,7 +211,7 @@ impl FaultPolicy {
 pub struct ChaosPlan {
     /// Decision seed.
     pub seed: u64,
-    policies: [Option<FaultPolicy>; 9],
+    policies: [Option<FaultPolicy>; 10],
 }
 
 impl ChaosPlan {
@@ -198,7 +219,7 @@ impl ChaosPlan {
     pub fn new(seed: u64) -> ChaosPlan {
         ChaosPlan {
             seed,
-            policies: [None; 9],
+            policies: [None; 10],
         }
     }
 
@@ -236,11 +257,12 @@ impl ChaosPlan {
 
 struct Armed {
     plan: ChaosPlan,
-    calls: [AtomicU64; 9],
-    injected: [AtomicU64; 9],
+    calls: [AtomicU64; 10],
+    injected: [AtomicU64; 10],
     recovered: [AtomicU64; 5],
     degraded: [AtomicU64; 5],
     typed_errors: [AtomicU64; 5],
+    retries: AtomicU64,
 }
 
 impl Armed {
@@ -252,6 +274,7 @@ impl Armed {
             recovered: Default::default(),
             degraded: Default::default(),
             typed_errors: Default::default(),
+            retries: AtomicU64::new(0),
         }
     }
 }
@@ -329,6 +352,9 @@ pub fn inject(fault: Fault) -> Option<u64> {
     let i = fault.idx();
     let policy = a.plan.policies[i]?;
     let n = a.calls[i].fetch_add(1, Ordering::Relaxed);
+    if n < policy.after {
+        return None;
+    }
     let h = splitmix64(
         a.plan
             .seed
@@ -355,6 +381,7 @@ pub fn inject(fault: Fault) -> Option<u64> {
         Fault::SpillRead => er_telemetry::counter!("chaos.injected.spill_read").incr(),
         Fault::WorkerPanic => er_telemetry::counter!("chaos.injected.worker_panic").incr(),
         Fault::SolverStall => er_telemetry::counter!("chaos.injected.solver_stall").incr(),
+        Fault::WalTear => er_telemetry::counter!("chaos.injected.wal_tear").incr(),
     }
     Some(splitmix64(h))
 }
@@ -473,20 +500,41 @@ pub fn stats() -> Option<ChaosStats> {
     Some(ChaosStats { domains, faults })
 }
 
+/// The backoff before retry `attempt` of the `nth` retried operation under
+/// `seed` — a pure function, so a fixed seed replays the exact same delay
+/// schedule. The base doubles from 50µs per attempt; jitter (to de-correlate
+/// concurrent retriers hammering the same device) is drawn from the seeded
+/// splitmix64 stream rather than the wall clock, adding up to one base on
+/// top.
+pub fn backoff_delay(attempt: u32, nth: u64, seed: u64) -> std::time::Duration {
+    let base = 50u64 << attempt.min(6);
+    let h = splitmix64(
+        seed.wrapping_add(nth.wrapping_mul(0xd6e8_feb8_6659_fd93))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x2545_f491_4f6c_dd1d)),
+    );
+    std::time::Duration::from_micros(base + h % (base + 1))
+}
+
 /// Runs `f` up to `attempts` times with a short exponential backoff between
 /// attempts — the retry half of the retry-or-degrade policy. The attempt
 /// number is passed in so callers can thread it into telemetry.
+///
+/// Backoff timing comes from [`backoff_delay`]: when a plan is armed, the
+/// jitter stream is keyed by the plan seed and the retry's index in the
+/// plan's lifetime, so chaos sweeps get deterministic retry schedules.
 ///
 /// # Errors
 ///
 /// Returns the last attempt's error when every attempt fails.
 pub fn retry<T, E>(attempts: u32, mut f: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+    let (seed, nth) = match current() {
+        Some(a) => (a.plan.seed, a.retries.fetch_add(1, Ordering::Relaxed)),
+        None => (0, 0),
+    };
     let mut last = f(0);
     let mut attempt = 1;
     while last.is_err() && attempt < attempts.max(1) {
-        // Backoff doubles from 50µs; long enough to model yielding to a
-        // transiently failing device, short enough for tests.
-        std::thread::sleep(std::time::Duration::from_micros(50u64 << attempt.min(6)));
+        std::thread::sleep(backoff_delay(attempt, nth, seed));
         last = f(attempt);
         attempt += 1;
     }
@@ -613,6 +661,61 @@ mod tests {
         assert_eq!(calls, 4);
         // attempts=0 still runs once.
         assert_eq!(retry(0, |a: u32| Ok::<u32, ()>(a)), Ok(0));
+    }
+
+    #[test]
+    fn at_nth_fires_exactly_once_at_the_chosen_opportunity() {
+        let _l = lock();
+        let _g = arm(ChaosPlan::new(11).with(Fault::WalTear, FaultPolicy::at_nth(4)));
+        let fired: Vec<bool> = (0..8).map(|_| inject(Fault::WalTear).is_some()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, false, false, true, false, false, false]
+        );
+        assert_eq!(stats().unwrap().domain(Domain::Store).injected, 1);
+    }
+
+    #[test]
+    fn after_delays_rate_policies_too() {
+        let _l = lock();
+        let mut policy = FaultPolicy::always(100);
+        policy.after = 3;
+        let _g = arm(ChaosPlan::new(2).with(Fault::IngestDrop, policy));
+        let fired: Vec<bool> = (0..6)
+            .map(|_| inject(Fault::IngestDrop).is_some())
+            .collect();
+        assert_eq!(fired, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_under_a_fixed_seed() {
+        let schedule = |seed: u64| -> Vec<std::time::Duration> {
+            (0..4)
+                .flat_map(|nth| (1..5).map(move |a| backoff_delay(a, nth, seed)))
+                .collect()
+        };
+        assert_eq!(
+            schedule(0xc0ffee),
+            schedule(0xc0ffee),
+            "same seed, same schedule"
+        );
+        assert_ne!(
+            schedule(0xc0ffee),
+            schedule(0xdecaf),
+            "seed changes the jitter"
+        );
+        for attempt in 1..10u32 {
+            let base = 50u64 << attempt.min(6);
+            let d = backoff_delay(attempt, 7, 99).as_micros() as u64;
+            assert!(
+                (base..=2 * base + 1).contains(&d),
+                "attempt {attempt}: delay {d}µs outside [{base}, {}]",
+                2 * base + 1
+            );
+        }
+        // Different retried operations under one seed get de-correlated
+        // schedules (the whole point of jitter).
+        assert_ne!(backoff_delay(1, 0, 42), backoff_delay(1, 1, 42));
     }
 
     #[test]

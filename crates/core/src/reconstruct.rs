@@ -72,6 +72,15 @@ pub enum GiveUpReason {
     NothingToRecord,
     /// The generated test case failed replay verification.
     VerificationFailed,
+    /// The watchdog cancelled this session's iterations until its
+    /// escalation ladder was exhausted — every retry, each with a larger
+    /// phase budget, tripped again.
+    WatchdogExhausted {
+        /// The phase whose budget tripped on the final attempt.
+        phase: &'static str,
+        /// Escalations spent before giving up.
+        escalations: u32,
+    },
 }
 
 /// Final outcome of a reconstruction.
@@ -153,7 +162,7 @@ impl ReconstructionReport {
 /// decoded events (to find the longest common prefix with the new trace),
 /// the instrumentation that produced them (to remap instruction
 /// coordinates), and the machine snapshots taken along the way.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ResumeCache {
     events: Vec<TraceEvent>,
     inst: InstrumentedProgram,
@@ -209,7 +218,7 @@ fn align_schedules(a: &[TraceEvent], b: &[TraceEvent]) -> Vec<(usize, usize, usi
 /// path stores traces compressed and re-derives events later, so the
 /// session accepts `(OccurrenceInfo, events)` instead of a raw
 /// [`FailureOccurrence`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OccurrenceInfo {
     /// Which production run failed.
     pub run_index: u64,
@@ -266,7 +275,7 @@ pub enum SessionStep {
 /// exactly one iteration of the paper's loop; the serial driver
 /// ([`Reconstructor::reconstruct`]) is now a thin wrapper that feeds it
 /// from a [`DeploymentSource`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReconstructionSession {
     config: ErConfig,
     program: Program,
@@ -325,6 +334,22 @@ impl ReconstructionSession {
     /// Whether another occurrence may still be consumed.
     pub fn wants_more(&self) -> bool {
         self.occurrences < self.config.max_occurrences
+    }
+
+    /// Event cursors of the symbex snapshots retained from the last
+    /// consumed occurrence — what a durability layer records to prove (and
+    /// later assert) that a restarted session resumes mid-trace rather
+    /// than from occurrence zero.
+    pub fn checkpoint_cursors(&self) -> Vec<usize> {
+        self.prev
+            .as_ref()
+            .map(|cache| cache.checkpoints.iter().map(MachineState::cursor).collect())
+            .unwrap_or_default()
+    }
+
+    /// The most recently completed iteration's statistics.
+    pub fn last_iteration(&self) -> Option<&IterationStats> {
+        self.iterations.last()
     }
 
     /// Records an *untraced* warmup observation (paper §3.1): counts toward
@@ -447,6 +472,7 @@ impl ReconstructionSession {
         // source of truth for per-iteration effort: the same numbers
         // feed IterationStats here and the journal's span events.
         let snap_before = er_telemetry::local_snapshot();
+        er_solver::cancel::begin_phase(er_solver::cancel::Phase::Shepherd);
         let report = match resume_state {
             Some(state) => {
                 er_telemetry::counter!("symex.checkpoint_resumes").incr();
@@ -555,6 +581,11 @@ impl ReconstructionSession {
         // translated back to original program coordinates.
         let set = {
             let _s = er_telemetry::span!("phase.select");
+            er_solver::cancel::begin_phase(er_solver::cancel::Phase::Select);
+            // Selection cost scales with the constraint graph; bill it up
+            // front in pool-node units. A trip here surfaces through the
+            // supervisor's post-iteration check, not mid-selection.
+            er_solver::cancel::tick(run.pool.len() as u64);
             self.select(&run, inst, occurrence)
         };
         let new_sites: Vec<InstrId> = set

@@ -102,6 +102,7 @@ pub fn solve_inputs(
     budget: &Budget,
 ) -> Result<Vec<(u32, Vec<u8>)>, SolveFailure> {
     let _span = er_telemetry::span!("shepherd.solve");
+    er_solver::cancel::begin_phase(er_solver::cancel::Phase::Solve);
     let assertions: Vec<_> = run
         .path
         .iter()

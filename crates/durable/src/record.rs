@@ -1,0 +1,155 @@
+//! WAL record framing: length-prefixed, checksummed, torn-tail tolerant.
+//!
+//! Every record is `[u32 le payload len][u64 le FNV-1a of payload][payload]`.
+//! The frame is written (and flushed) as one unit; a crash mid-write leaves
+//! at most one *torn tail* — an incomplete header, a short payload, or a
+//! payload whose checksum disagrees with the header. [`scan`] classifies
+//! exactly that: everything up to the last complete, checksum-valid record
+//! is trusted, the tail (if any) is reported for truncation. A WAL can
+//! therefore lose at most the one append that was in flight at the crash —
+//! never a record that was already acknowledged.
+
+/// Bytes of framing per record (4-byte length + 8-byte checksum).
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on one record's payload. Anything larger in a length field
+/// is treated as tail garbage, not an allocation request — a torn header
+/// must not make recovery attempt a 4 GB read.
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// FNV-1a over `bytes` — the same cheap content hash the trace store uses
+/// for content addressing; collisions are irrelevant here because the
+/// checksum only guards against *truncated or torn* writes, not adversarial
+/// ones.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Frames one payload: header + payload, ready to append.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds frame bound");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What [`scan`] found in a WAL image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Payloads of every complete, checksum-valid record, in log order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the trusted prefix (where the torn tail, if any,
+    /// begins). Recovery truncates the file to this length.
+    pub clean_len: usize,
+    /// Whether bytes past `clean_len` were present and discarded.
+    pub torn: bool,
+}
+
+/// Walks `bytes` record by record, stopping at the first frame that is
+/// incomplete or fails its checksum.
+pub fn scan(bytes: &[u8]) -> ScanResult {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return ScanResult {
+                records,
+                clean_len: pos,
+                torn: false,
+            };
+        }
+        if rest.len() < HEADER_LEN {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD || rest.len() < HEADER_LEN + len {
+            break; // garbage length or torn payload
+        }
+        let sum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+        if fnv64(payload) != sum {
+            break; // payload bytes from a torn write
+        }
+        records.push(payload.to_vec());
+        pos += HEADER_LEN + len;
+    }
+    ScanResult {
+        records,
+        clean_len: pos,
+        torn: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut log = Vec::new();
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2; 300], b"hello".to_vec()];
+        for p in &payloads {
+            log.extend_from_slice(&frame(p));
+        }
+        let scan = scan(&log);
+        assert_eq!(scan.records, payloads);
+        assert_eq!(scan.clean_len, log.len());
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_complete_record() {
+        let mut log = frame(b"first");
+        log.extend_from_slice(&frame(b"second"));
+        let clean = log.len();
+        // Append most of a third record, cut mid-payload.
+        let third = frame(b"third-record-payload");
+        log.extend_from_slice(&third[..third.len() - 3]);
+        let s = scan(&log);
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.clean_len, clean);
+        assert!(s.torn);
+    }
+
+    #[test]
+    fn corrupt_checksum_is_a_torn_tail() {
+        let mut log = frame(b"ok");
+        let mut bad = frame(b"damaged");
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let clean = log.len();
+        log.extend_from_slice(&bad);
+        let s = scan(&log);
+        assert_eq!(s.records, vec![b"ok".to_vec()]);
+        assert_eq!(s.clean_len, clean);
+        assert!(s.torn);
+    }
+
+    #[test]
+    fn insane_length_field_does_not_allocate() {
+        let mut log = frame(b"ok");
+        let clean = log.len();
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&[0u8; 8]);
+        let s = scan(&log);
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.clean_len, clean);
+        assert!(s.torn);
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let s = scan(&[]);
+        assert!(s.records.is_empty());
+        assert_eq!(s.clean_len, 0);
+        assert!(!s.torn);
+    }
+}

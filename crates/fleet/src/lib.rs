@@ -24,6 +24,13 @@
 //!   instrumentation rollout.
 //! * [`sim`] — the round-based fleet simulator tying it together.
 //!
+//! With [`sim::FleetConfig::durable`] set, the scheduler journals every
+//! durable decision to an `er-durable` WAL and [`sim::Fleet::resume`] can
+//! rebuild the investigation after a crash (see `er_durable` for the
+//! record format and recovery protocol). [`sched::SchedulerConfig::watchdog`]
+//! additionally supervises analyze iterations with per-phase deadlines and
+//! an escalation ladder.
+//!
 //! # Example
 //!
 //! ```

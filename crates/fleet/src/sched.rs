@@ -18,8 +18,9 @@ use crate::pool;
 use crate::store::TraceStore;
 use er_core::instrument::InstrumentedProgram;
 use er_core::reconstruct::{
-    ErConfig, GiveUpReason, ReconstructionReport, ReconstructionSession, SessionStep,
+    ErConfig, GiveUpReason, Outcome, ReconstructionReport, ReconstructionSession, SessionStep,
 };
+use er_durable::{ConsumeOutcome, DurableEvent, Wal, WatchdogConfig, WatchdogState};
 use er_minilang::ir::Program;
 use er_pt::packets_to_events;
 use std::collections::{BTreeMap, VecDeque};
@@ -33,6 +34,10 @@ pub struct SchedulerConfig {
     /// Fraction of instances that receive a group's instrumented binary
     /// (at least one instance always does).
     pub rollout: f64,
+    /// Watchdog supervision of analyze iterations: per-phase work budgets
+    /// plus the escalation ladder. `None` disables supervision (iterations
+    /// run unbudgeted, as before).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -40,6 +45,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             max_concurrent: 2,
             rollout: 1.0,
+            watchdog: None,
         }
     }
 }
@@ -66,12 +72,40 @@ pub struct GroupState {
     /// Total sightings across all instances (triage's count, including
     /// redundant ones) — the numerator of the reoccurrence rate.
     pub occurrences_seen: u64,
+    /// Position on the watchdog escalation ladder (present iff the
+    /// scheduler supervises iterations).
+    watchdog: Option<WatchdogState>,
 }
 
 impl GroupState {
     /// Whether this group still wants occurrences.
     fn open(&self) -> bool {
         self.report.is_none() && self.session.wants_more()
+    }
+
+    /// Watchdog escalations this group has taken (0 when unsupervised).
+    pub fn watchdog_escalations(&self) -> u32 {
+        self.watchdog.map(|w| w.escalations()).unwrap_or(0)
+    }
+
+    /// Runs at or below this index are already consumed.
+    pub fn next_run(&self) -> u64 {
+        self.next_run
+    }
+
+    /// The session's accumulated recording set (original coordinates).
+    pub fn sites(&self) -> &[er_minilang::ir::InstrId] {
+        self.session.sites()
+    }
+
+    /// Occurrences the session has consumed.
+    pub fn occurrences_consumed(&self) -> u32 {
+        self.session.occurrences()
+    }
+
+    /// Queued occurrences not yet consumed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// The oldest queued occurrence consumable right now: produced by the
@@ -103,12 +137,25 @@ pub enum StepOutcome {
     Closed,
 }
 
+/// What a (possibly supervised) analyze worker reported back.
+#[derive(Debug, Clone, Copy)]
+enum IterResult {
+    /// The iteration ran to completion.
+    Done(StepOutcome),
+    /// The watchdog tripped `phase` mid-iteration; the worker restored the
+    /// pre-iteration session, so the occurrence can be retried.
+    Cancelled { phase: &'static str },
+}
+
 /// The per-fleet scheduler.
 #[derive(Debug)]
 pub struct Scheduler {
     er: ErConfig,
     policy: SchedulerConfig,
     groups: BTreeMap<u64, GroupState>,
+    /// Durable event log; every scheduler decision that must survive a
+    /// crash is appended (and flushed) before the next one is made.
+    wal: Option<Wal>,
 }
 
 impl Scheduler {
@@ -118,13 +165,38 @@ impl Scheduler {
             er,
             policy,
             groups: BTreeMap::new(),
+            wal: None,
+        }
+    }
+
+    /// Attaches a durable event log: session lifecycle, accepted
+    /// occurrences (trace bytes included), consumption, checkpoints,
+    /// rollouts, and verdicts are journaled so [`Scheduler::recover`] can
+    /// rebuild this scheduler after a crash.
+    pub fn with_wal(mut self, wal: Wal) -> Scheduler {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Appends one event to the WAL, if one is attached. An I/O failure
+    /// degrades durability (logged and counted) rather than killing the
+    /// investigation; an injected [`er_chaos::Fault::WalTear`] panics
+    /// through here by design — that *is* the simulated crash.
+    fn append_wal(&mut self, ev: &DurableEvent) {
+        let Some(wal) = self.wal.as_mut() else { return };
+        if let Err(e) = wal.append(ev) {
+            er_telemetry::counter!("durable.append_failures").incr();
+            er_telemetry::log!(warn, "wal append failed ({e}); durability degraded");
         }
     }
 
     /// Ensures a group exists, creating its session on first sight.
     pub fn note_group(&mut self, id: u64, program: &Program, label: &str) {
         let er = self.er;
+        let watchdog = self.policy.watchdog.as_ref().map(WatchdogState::new);
+        let mut started = false;
         self.groups.entry(id).or_insert_with(|| {
+            started = true;
             let session = ReconstructionSession::new(er, program.clone());
             let inst = session.instrumented();
             GroupState {
@@ -138,8 +210,15 @@ impl Scheduler {
                 report: None,
                 iterations: 0,
                 occurrences_seen: 0,
+                watchdog,
             }
         });
+        if started {
+            self.append_wal(&DurableEvent::SessionStarted {
+                group: id,
+                label: label.to_string(),
+            });
+        }
     }
 
     /// Refreshes each group's sighting count from the triage table (called
@@ -157,6 +236,7 @@ impl Scheduler {
     /// duplicate of a queued one from another instance) are dropped
     /// immediately and counted.
     pub fn enqueue(&mut self, pending: Vec<PendingOccurrence>, store: &mut TraceStore) {
+        let journaling = self.wal.is_some();
         for p in pending {
             let Some(g) = self.groups.get_mut(&p.group) else {
                 continue; // group must be noted first
@@ -176,7 +256,19 @@ impl Scheduler {
                 if let Some(id) = p.trace {
                     store.pin(id);
                 }
+                let journal = journaling.then(|| DurableEvent::OccurrenceIngested {
+                    group: p.group,
+                    for_group: p.for_group,
+                    version: p.version,
+                    leading_gap: p.leading_gap,
+                    info: Box::new(p.info.clone()),
+                    trace: p.trace.and_then(|id| store.compressed_bytes(id).ok()),
+                    error: p.error.clone(),
+                });
                 g.pending.push_back(p);
+                if let Some(ev) = journal {
+                    self.append_wal(&ev);
+                }
             }
         }
     }
@@ -282,12 +374,12 @@ impl Scheduler {
                 .expect("work present");
             let label = g.label.clone();
             er_telemetry::set_context(&label);
-            let outcome = Self::run_iteration(&mut g, &p, store);
+            let result = Self::run_supervised(&mut g, &p, store);
             er_telemetry::set_context("");
             *slot
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((g, p));
-            outcome
+            result
         });
 
         let mut out = Vec::with_capacity(outcomes.len());
@@ -295,9 +387,9 @@ impl Scheduler {
             let slot = slot
                 .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let (mut g, p, outcome) = match (outcome, slot) {
+            let (mut g, p, result) = match (outcome, slot) {
                 // Normal completion: the worker put the state back.
-                (Ok(outcome), Some((g, p))) => (g, p, outcome),
+                (Ok(result), Some((g, p))) => (g, p, result),
                 (Err(panic), Some((mut g, p))) => {
                     // The worker died *before* touching the work (the pool
                     // kills at its boundary under chaos): group state and
@@ -328,10 +420,109 @@ impl Scheduler {
                     continue;
                 }
             };
+            let outcome = match result {
+                IterResult::Done(outcome) => outcome,
+                IterResult::Cancelled { phase } => {
+                    // The watchdog tripped: the worker already restored the
+                    // pre-iteration session, so the occurrence is intact.
+                    // Climb the escalation ladder and retry, or give up.
+                    er_telemetry::counter!("watchdog.cancelled").incr();
+                    let cfg = self
+                        .policy
+                        .watchdog
+                        .expect("cancellation implies supervision");
+                    let wd = g.watchdog.as_mut().expect("supervised group has a ladder");
+                    if wd.escalate(&cfg) {
+                        let level = wd.escalations();
+                        er_telemetry::counter!("watchdog.escalations").incr();
+                        er_telemetry::counter!("watchdog.requeued").incr();
+                        er_telemetry::log!(
+                            warn,
+                            "watchdog tripped {phase} for group {:#x}; retrying at escalation {level}",
+                            g.id
+                        );
+                        self.append_wal(&DurableEvent::Escalated {
+                            group: g.id,
+                            level,
+                            phase: phase.to_string(),
+                        });
+                        // Trace stays pinned for the retry.
+                        g.pending.push_front(p);
+                    } else {
+                        let escalations = wd.escalations();
+                        er_telemetry::counter!("watchdog.gave_up").incr();
+                        er_telemetry::log!(
+                            warn,
+                            "watchdog exhausted for group {:#x} in {phase} after {escalations} escalations",
+                            g.id
+                        );
+                        if let Some(id) = p.trace {
+                            store.unpin(id);
+                        }
+                        for rest in g.pending.drain(..) {
+                            if let Some(id) = rest.trace {
+                                store.unpin(id);
+                            }
+                        }
+                        g.report = Some(
+                            g.session
+                                .give_up(GiveUpReason::WatchdogExhausted { phase, escalations }),
+                        );
+                        if let Some(ev) = Self::terminal_event(&g) {
+                            self.append_wal(&ev);
+                        }
+                        out.push((g.id, StepOutcome::Closed));
+                    }
+                    self.groups.insert(g.id, g);
+                    continue;
+                }
+            };
             if let Some(id) = p.trace {
                 store.unpin(id);
             }
             er_telemetry::counter!("fleet.sched.consumed").incr();
+            if self.wal.is_some() {
+                self.append_wal(&DurableEvent::OccurrenceConsumed {
+                    group: g.id,
+                    run_index: p.info.run_index,
+                    outcome: match outcome {
+                        StepOutcome::NeedMore => ConsumeOutcome::NeedMore,
+                        StepOutcome::Reinstrumented => ConsumeOutcome::Reinstrumented,
+                        StepOutcome::Closed => ConsumeOutcome::Closed,
+                    },
+                });
+                let occurrence = g.session.occurrences();
+                if let Some(it) = g.session.last_iteration() {
+                    let (symbex_steps, solver_work) = (it.symbex_steps, it.solver_work);
+                    let new_sites = it.new_sites.clone();
+                    self.append_wal(&DurableEvent::SolverCheckpoint {
+                        group: g.id,
+                        occurrence,
+                        symbex_steps,
+                        solver_work,
+                    });
+                    if !new_sites.is_empty() {
+                        self.append_wal(&DurableEvent::SelectionMade {
+                            group: g.id,
+                            occurrence,
+                            new_sites,
+                        });
+                    }
+                }
+                let cursors: Vec<u64> = g
+                    .session
+                    .checkpoint_cursors()
+                    .into_iter()
+                    .map(|c| c as u64)
+                    .collect();
+                if !cursors.is_empty() {
+                    self.append_wal(&DurableEvent::SymexCheckpoint {
+                        group: g.id,
+                        occurrence,
+                        cursors,
+                    });
+                }
+            }
             match outcome {
                 StepOutcome::Reinstrumented => {
                     er_telemetry::counter!("fleet.sched.rollouts").incr();
@@ -342,12 +533,22 @@ impl Scheduler {
                         }
                         er_telemetry::counter!("fleet.sched.stale_dropped").incr();
                     }
+                    if self.wal.is_some() {
+                        self.append_wal(&DurableEvent::PlanDeployed {
+                            group: g.id,
+                            version: g.version,
+                            sites: g.session.sites().to_vec(),
+                        });
+                    }
                 }
                 StepOutcome::Closed => {
                     for rest in g.pending.drain(..) {
                         if let Some(id) = rest.trace {
                             store.unpin(id);
                         }
+                    }
+                    if let Some(ev) = Self::terminal_event(&g) {
+                        self.append_wal(&ev);
                     }
                 }
                 StepOutcome::NeedMore => {}
@@ -356,6 +557,58 @@ impl Scheduler {
             self.groups.insert(g.id, g);
         }
         out
+    }
+
+    /// One worker-side iteration, under the watchdog when configured: arms
+    /// the cooperative cancellation token with the group's current phase
+    /// budgets, snapshots the session first, and — if any phase budget
+    /// trips mid-iteration — restores the snapshot so the cancelled work
+    /// leaves no trace on the session.
+    fn run_supervised(g: &mut GroupState, p: &PendingOccurrence, store: &TraceStore) -> IterResult {
+        let Some(budgets) = g.watchdog.map(|w| w.budgets()) else {
+            return IterResult::Done(Self::run_iteration(g, p, store));
+        };
+        let snapshot = (
+            g.session.clone(),
+            g.inst.clone(),
+            g.next_run,
+            g.iterations,
+            g.version,
+        );
+        let guard = er_solver::cancel::arm(budgets);
+        let outcome = Self::run_iteration(g, p, store);
+        let tripped = er_solver::cancel::tripped_phase();
+        drop(guard);
+        match tripped {
+            Some(phase) => {
+                let (session, inst, next_run, iterations, version) = snapshot;
+                g.session = session;
+                g.inst = inst;
+                g.next_run = next_run;
+                g.iterations = iterations;
+                g.version = version;
+                g.report = None;
+                IterResult::Cancelled {
+                    phase: phase.name(),
+                }
+            }
+            None => IterResult::Done(outcome),
+        }
+    }
+
+    /// The [`DurableEvent::Terminal`] record for a closed group.
+    fn terminal_event(g: &GroupState) -> Option<DurableEvent> {
+        let r = g.report.as_ref()?;
+        let reason = match &r.outcome {
+            Outcome::Reproduced(_) => "reproduced".to_string(),
+            Outcome::GaveUp(why) => format!("{why:?}"),
+        };
+        Some(DurableEvent::Terminal {
+            group: g.id,
+            reproduced: r.reproduced(),
+            reason,
+            occurrences: r.occurrences,
+        })
     }
 
     /// One group iteration: retrieve the trace, flatten to events, feed
@@ -369,7 +622,12 @@ impl Scheduler {
                 Ok((packets, gap)) => {
                     let events = {
                         let _s = er_telemetry::span!("shepherd.decode");
-                        packets_to_events(&packets, gap)
+                        let events = packets_to_events(&packets, gap);
+                        // Bill the decode-phase budget (the cancel token,
+                        // when armed, starts in Decode); a trip here
+                        // surfaces as a cancelled iteration.
+                        er_solver::cancel::tick(packets.len() as u64);
+                        events
                     };
                     g.session.consume_events(&g.inst, p.info.clone(), events)
                 }
@@ -408,6 +666,7 @@ impl Scheduler {
     /// Closes every still-open group as having seen no (further) failure
     /// reoccurrence — the fleet stopped producing.
     pub fn close_all(&mut self, store: &mut TraceStore) {
+        let mut closed: Vec<u64> = Vec::new();
         for g in self.groups.values_mut() {
             for rest in g.pending.drain(..) {
                 if let Some(id) = rest.trace {
@@ -416,7 +675,197 @@ impl Scheduler {
             }
             if g.report.is_none() {
                 g.report = Some(g.session.give_up(GiveUpReason::NoFailureObserved));
+                closed.push(g.id);
             }
         }
+        for id in closed {
+            if let Some(ev) = self.groups.get(&id).and_then(Self::terminal_event) {
+                self.append_wal(&ev);
+            }
+        }
+    }
+
+    /// Rebuilds a scheduler from a recovered WAL: replays the logged
+    /// events in order, re-feeding every consumed occurrence (journaled
+    /// trace bytes re-enter the content-addressed store, yielding the
+    /// original [`crate::store::TraceId`]s) through fresh sessions. The
+    /// pipeline is deterministic, so replay reconverges on the crashed
+    /// scheduler's state — including the symbex checkpoints, which resume
+    /// exactly as they did pre-crash. Divergence between replay and what
+    /// the log acknowledged is counted (`durable.replay_divergence`), not
+    /// fatal.
+    ///
+    /// `wal` is attached only *after* replay, so replay appends nothing.
+    pub fn recover(
+        er: ErConfig,
+        policy: SchedulerConfig,
+        program: &Program,
+        wal: Wal,
+        events: &[DurableEvent],
+        store: &mut TraceStore,
+    ) -> Scheduler {
+        let _span = er_telemetry::span!("durable.recover");
+        let mut s = Scheduler::new(er, policy);
+        for ev in events {
+            match ev {
+                DurableEvent::SessionStarted { group, label } => {
+                    s.note_group(*group, program, label);
+                }
+                DurableEvent::OccurrenceIngested {
+                    group,
+                    for_group,
+                    version,
+                    leading_gap,
+                    info,
+                    trace,
+                    error,
+                } => {
+                    let trace_id = trace.as_ref().and_then(|bytes| {
+                        match store.put_compressed(*group, bytes, *leading_gap) {
+                            Ok(put) => Some(put.id),
+                            Err(e) => {
+                                er_telemetry::counter!("durable.replay_divergence").incr();
+                                er_telemetry::log!(
+                                    warn,
+                                    "replay: journaled trace for group {group:#x} unusable: {e}"
+                                );
+                                None
+                            }
+                        }
+                    });
+                    er_telemetry::counter!("durable.replayed_occurrences").incr();
+                    s.enqueue(
+                        vec![PendingOccurrence {
+                            group: *group,
+                            for_group: *for_group,
+                            version: *version,
+                            trace: trace_id,
+                            leading_gap: *leading_gap,
+                            info: info.as_ref().clone(),
+                            error: error.clone(),
+                        }],
+                        store,
+                    );
+                }
+                DurableEvent::OccurrenceConsumed {
+                    group,
+                    run_index,
+                    outcome,
+                } => s.replay_consume(*group, *run_index, *outcome, store),
+                DurableEvent::Escalated { group, level, .. } => {
+                    if let (Some(cfg), Some(g)) = (policy.watchdog, s.groups.get_mut(group)) {
+                        if let Some(wd) = g.watchdog.as_mut() {
+                            wd.restore(&cfg, *level);
+                        }
+                    }
+                }
+                DurableEvent::Terminal {
+                    group, reproduced, ..
+                } => {
+                    // Durable assertion: replay must have re-derived the
+                    // same verdict the crashed process acknowledged.
+                    let got = s
+                        .groups
+                        .get(group)
+                        .and_then(|g| g.report.as_ref())
+                        .map(ReconstructionReport::reproduced);
+                    if got != Some(*reproduced) {
+                        er_telemetry::counter!("durable.replay_divergence").incr();
+                        er_telemetry::log!(
+                            warn,
+                            "replay: group {group:#x} verdict {got:?} != journaled {reproduced}"
+                        );
+                    }
+                }
+                // Progress markers: replay re-derives checkpoints and
+                // plans from the consumed occurrences themselves.
+                DurableEvent::SymexCheckpoint { .. }
+                | DurableEvent::SolverCheckpoint { .. }
+                | DurableEvent::SelectionMade { .. }
+                | DurableEvent::PlanDeployed { .. } => {}
+            }
+        }
+        er_telemetry::counter!("durable.resumes").incr();
+        er_telemetry::log!(
+            info,
+            "recovered scheduler from {} WAL events ({} groups)",
+            events.len(),
+            s.groups.len()
+        );
+        s.wal = Some(wal);
+        s
+    }
+
+    /// Replays one journaled consumption: pops the matching queued
+    /// occurrence and runs the iteration serially, mirroring
+    /// [`Scheduler::analyze_round`]'s post-processing (without the WAL
+    /// appends — the records already exist).
+    fn replay_consume(
+        &mut self,
+        group: u64,
+        run_index: u64,
+        logged: ConsumeOutcome,
+        store: &mut TraceStore,
+    ) {
+        let Some(mut g) = self.groups.remove(&group) else {
+            er_telemetry::counter!("durable.replay_divergence").incr();
+            er_telemetry::log!(warn, "replay: consumed event for unknown group {group:#x}");
+            return;
+        };
+        let at = g.next_eligible().filter(|&at| {
+            g.pending
+                .get(at)
+                .is_some_and(|p| p.info.run_index == run_index)
+        });
+        let Some(at) = at else {
+            er_telemetry::counter!("durable.replay_divergence").incr();
+            er_telemetry::log!(
+                warn,
+                "replay: group {group:#x} run {run_index} not next-eligible; skipping"
+            );
+            self.groups.insert(group, g);
+            return;
+        };
+        let p = g.pending.remove(at).expect("eligible index valid");
+        if let Some(id) = p.trace {
+            store.unpin(id);
+        }
+        let label = g.label.clone();
+        er_telemetry::set_context(&label);
+        let outcome = Self::run_iteration(&mut g, &p, store);
+        er_telemetry::set_context("");
+        er_telemetry::counter!("fleet.sched.consumed").incr();
+        let got = match outcome {
+            StepOutcome::NeedMore => ConsumeOutcome::NeedMore,
+            StepOutcome::Reinstrumented => ConsumeOutcome::Reinstrumented,
+            StepOutcome::Closed => ConsumeOutcome::Closed,
+        };
+        if got != logged {
+            er_telemetry::counter!("durable.replay_divergence").incr();
+            er_telemetry::log!(
+                warn,
+                "replay: group {group:#x} run {run_index} outcome {got:?} != journaled {logged:?}"
+            );
+        }
+        match outcome {
+            StepOutcome::Reinstrumented => {
+                er_telemetry::counter!("fleet.sched.rollouts").incr();
+                for stale in g.pending.drain(..) {
+                    if let Some(id) = stale.trace {
+                        store.unpin(id);
+                    }
+                    er_telemetry::counter!("fleet.sched.stale_dropped").incr();
+                }
+            }
+            StepOutcome::Closed => {
+                for rest in g.pending.drain(..) {
+                    if let Some(id) = rest.trace {
+                        store.unpin(id);
+                    }
+                }
+            }
+            StepOutcome::NeedMore => {}
+        }
+        self.groups.insert(group, g);
     }
 }

@@ -35,10 +35,12 @@ use crate::triage::Triage;
 use er_core::deploy::{Deployment, ReoccurrenceModel};
 use er_core::instrument::InstrumentedProgram;
 use er_core::reconstruct::{ErConfig, ReconstructionReport};
+use er_durable::Wal;
 use er_minilang::env::Env;
 use er_minilang::interp::SchedConfig;
 use er_minilang::ir::Program;
 use er_pt::PtConfig;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +72,10 @@ pub struct FleetConfig {
     pub store: StoreConfig,
     /// Scheduler policy.
     pub sched: SchedulerConfig,
+    /// Durable session WAL path. When set, [`Fleet::run`] journals every
+    /// scheduler decision there and [`Fleet::resume`] can rebuild the
+    /// investigation after a crash.
+    pub durable: Option<PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -83,6 +89,7 @@ impl Default for FleetConfig {
             ingest: IngestConfig::default(),
             store: StoreConfig::default(),
             sched: SchedulerConfig::default(),
+            durable: None,
         }
     }
 }
@@ -132,6 +139,8 @@ pub struct FleetGroupReport {
     pub iterations: u64,
     /// Final instrumentation version.
     pub version: u32,
+    /// Watchdog escalations taken (0 when unsupervised).
+    pub watchdog_escalations: u32,
     /// The reconstruction outcome.
     pub report: ReconstructionReport,
 }
@@ -230,7 +239,73 @@ impl Fleet {
     /// Runs the fleet to completion: until every discovered failure group
     /// closed its investigation, or production ran `er.max_runs_per_occurrence`
     /// runs past the last sighting without a reoccurrence, or the round cap.
+    ///
+    /// With [`FleetConfig::durable`] set, a fresh WAL is created at that
+    /// path and every scheduler decision is journaled; if the WAL cannot
+    /// be created the run proceeds without durability (logged).
     pub fn run(&self) -> FleetReport {
+        let scheduler = Scheduler::new(self.spec.er, self.config.sched);
+        let scheduler = match &self.config.durable {
+            Some(path) => match Wal::create(path) {
+                Ok(wal) => scheduler.with_wal(wal),
+                Err(e) => {
+                    er_telemetry::log!(
+                        warn,
+                        "durable WAL unavailable at {} ({e}); running without durability",
+                        path.display()
+                    );
+                    scheduler
+                }
+            },
+            None => scheduler,
+        };
+        self.drive(scheduler, TraceStore::new(self.config.store.clone()))
+    }
+
+    /// Restarts a crashed durable fleet: opens the WAL at
+    /// [`FleetConfig::durable`] (truncating any torn tail), replays it
+    /// into a recovered scheduler — re-deriving session state, symbex
+    /// checkpoints, and watchdog ladders from the journaled occurrences —
+    /// and drives the fleet to completion. Production cursors restart at
+    /// zero: re-produced occurrences dedup in the content-addressed store
+    /// and runs the recovered sessions already consumed are dropped at the
+    /// scheduler's per-group run watermark, so nothing is double-counted.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the config has no durable path; otherwise the
+    /// WAL-open I/O error.
+    pub fn resume(&self) -> std::io::Result<FleetReport> {
+        let path = self.config.durable.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "resume requires FleetConfig::durable",
+            )
+        })?;
+        let _counters = er_telemetry::ensure_counters();
+        er_telemetry::set_context(&self.spec.label);
+        let (wal, events, info) = Wal::open(path)?;
+        er_telemetry::log!(
+            info,
+            "resuming from {}: {} records ({} torn bytes truncated)",
+            path.display(),
+            info.records,
+            info.torn_bytes
+        );
+        let mut store = TraceStore::new(self.config.store.clone());
+        let scheduler = Scheduler::recover(
+            self.spec.er,
+            self.config.sched,
+            &self.spec.program,
+            wal,
+            &events,
+            &mut store,
+        );
+        er_telemetry::set_context("");
+        Ok(self.drive(scheduler, store))
+    }
+
+    fn drive(&self, mut scheduler: Scheduler, mut store: TraceStore) -> FleetReport {
         let _counters = er_telemetry::ensure_counters();
         er_telemetry::set_context(&self.spec.label);
         let _span = er_telemetry::span!("fleet.run");
@@ -240,9 +315,7 @@ impl Fleet {
 
         let baseline = InstrumentedProgram::unmodified(&self.spec.program);
         let mut triage = Triage::new();
-        let mut store = TraceStore::new(self.config.store.clone());
         let mut ingestor = Ingestor::new(self.config.ingest);
-        let mut scheduler = Scheduler::new(self.spec.er, self.config.sched);
         let mut instances: Vec<Instance> = (0..m).map(|_| Instance { cursor: 0 }).collect();
 
         let mut rounds = 0u64;
@@ -395,6 +468,7 @@ impl Fleet {
                         .unwrap_or(0),
                     iterations: g.iterations,
                     version: g.version,
+                    watchdog_escalations: g.watchdog_escalations(),
                     report: g.report.take().expect("all groups closed"),
                 }
             })

@@ -257,6 +257,40 @@ impl TraceStore {
         Ok((packets, e.leading_gap))
     }
 
+    /// The stored compressed bytes of a trace — what a durability layer
+    /// journals so a restarted scheduler can re-`put` the identical stream
+    /// (content addressing then yields the identical [`TraceId`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`get`](Self::get), minus decompression.
+    pub fn compressed_bytes(&self, id: TraceId) -> Result<Vec<u8>, StoreError> {
+        let e = self.entries.get(&id.0).ok_or(StoreError::Missing)?;
+        match &e.data {
+            Slot::Mem(b) => Ok(b.clone()),
+            Slot::Disk(p) => read_spill(p),
+        }
+    }
+
+    /// Stores pre-compressed bytes recovered from a WAL, bypassing the
+    /// compressor (the bytes were produced by it originally). Returns the
+    /// same [`TraceId`] arithmetic as [`put`](Self::put): identical bytes
+    /// for the same group dedup to the already-stored copy.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if the bytes do not decompress — a WAL
+    /// record damaged beyond its checksum's ability to notice.
+    pub fn put_compressed(
+        &mut self,
+        group: u64,
+        compressed: &[u8],
+        leading_gap: bool,
+    ) -> Result<PutResult, StoreError> {
+        let packets = decompress(compressed).map_err(|_| StoreError::Corrupt)?;
+        Ok(self.put(group, &packets, leading_gap))
+    }
+
     /// Marks a trace in use by a pending occurrence: it will not be
     /// evicted until [`unpin`](Self::unpin)ned as many times.
     pub fn pin(&mut self, id: TraceId) {

@@ -48,6 +48,7 @@
 
 pub mod arrays;
 pub mod bitblast;
+pub mod cancel;
 pub mod cnf;
 pub mod expr;
 pub mod inc;

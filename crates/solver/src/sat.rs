@@ -504,6 +504,12 @@ impl SatSolver {
                 if self.stats.conflicts > budget_end {
                     return SatOutcome::Unknown;
                 }
+                // One conflict = one unit of supervised solve work; a
+                // tripped watchdog token looks like an early budget
+                // exhaustion and unwinds through the same path.
+                if crate::cancel::tick(1) {
+                    return SatOutcome::Unknown;
+                }
                 if self.trail_lim.is_empty() {
                     self.ok = false;
                     return SatOutcome::Unsat;

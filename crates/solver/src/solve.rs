@@ -63,6 +63,10 @@ pub enum StallReason {
     /// address — the access could not be proven unique nor confined to one
     /// object within the budget.
     AddressAmbiguity,
+    /// A watchdog cancellation token ([`crate::cancel`]) tripped mid-query:
+    /// the supervising scheduler cancelled this iteration's phase budget,
+    /// not the solver's own.
+    Cancelled,
 }
 
 impl fmt::Display for StallReason {
@@ -74,6 +78,7 @@ impl fmt::Display for StallReason {
                 write!(f, "conflict budget ({conflicts} conflicts)")
             }
             StallReason::AddressAmbiguity => write!(f, "ambiguous symbolic address"),
+            StallReason::Cancelled => write!(f, "cancelled by watchdog"),
         }
     }
 }

@@ -651,6 +651,12 @@ impl<'p> SymMachine<'p> {
             if self.stats.steps > self.config.max_steps {
                 return Err(Stop::Diverge(TraceDivergence::StepBudget));
             }
+            // One supervised shepherd work unit per step. Stalling here
+            // (rather than at an arbitrary instruction boundary) leaves the
+            // machine consistent: no event half-applied, checkpoints intact.
+            if er_solver::cancel::tick(1) {
+                return Err(Stop::Stall(StallReason::Cancelled, None));
+            }
 
             let at = self.position();
             let events_left = cursor < events.len();
